@@ -1,0 +1,291 @@
+//! Encryption policies (the paper's 𝒫).
+//!
+//! A *selection policy* is "(i) the encryption algorithm that is used for
+//! protecting the transmitted packets, and (ii) the set of packets to be
+//! encrypted" (Section 3). The evaluation sweeps four packet-selection
+//! modes {none, P, I, all} (Table 1) plus the finer `I + α·P` mixtures of
+//! Figure 9 / Table 2 and the half-I probe mentioned in Section 6.2.
+
+use thrifty_crypto::Algorithm;
+use thrifty_video::FrameType;
+
+/// Which packets the sender encrypts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EncryptionMode {
+    /// Encrypt nothing (no privacy, no penalty).
+    None,
+    /// Encrypt every packet (full privacy, full penalty).
+    All,
+    /// Encrypt only packets belonging to I-frames.
+    IFrames,
+    /// Encrypt only packets belonging to P-frames.
+    PFrames,
+    /// Encrypt all I-frame packets plus fraction `0 ≤ α ≤ 1` of P-frame
+    /// packets (Figure 9, Table 2).
+    IPlusFractionP(f64),
+    /// Encrypt a fraction `0 ≤ β ≤ 1` of I-frame packets only — the paper's
+    /// "half of the I-frame packets" probe (Section 6.2).
+    FractionI(f64),
+}
+
+impl EncryptionMode {
+    /// The four modes of Table 1, in figure order (none, P, I, all).
+    pub const TABLE1: [EncryptionMode; 4] = [
+        EncryptionMode::None,
+        EncryptionMode::PFrames,
+        EncryptionMode::IFrames,
+        EncryptionMode::All,
+    ];
+
+    /// Probability a packet of the given frame class is selected for
+    /// encryption.
+    pub fn encrypt_prob(&self, ftype: FrameType) -> f64 {
+        match (self, ftype) {
+            (EncryptionMode::None, _) => 0.0,
+            (EncryptionMode::All, _) => 1.0,
+            (EncryptionMode::IFrames, FrameType::I) => 1.0,
+            (EncryptionMode::IFrames, FrameType::P) => 0.0,
+            (EncryptionMode::PFrames, FrameType::I) => 0.0,
+            (EncryptionMode::PFrames, FrameType::P) => 1.0,
+            (EncryptionMode::IPlusFractionP(alpha), FrameType::I) => {
+                Self::check_fraction(*alpha);
+                1.0
+            }
+            (EncryptionMode::IPlusFractionP(alpha), FrameType::P) => {
+                Self::check_fraction(*alpha);
+                *alpha
+            }
+            (EncryptionMode::FractionI(beta), FrameType::I) => {
+                Self::check_fraction(*beta);
+                *beta
+            }
+            (EncryptionMode::FractionI(_), FrameType::P) => 0.0,
+        }
+    }
+
+    fn check_fraction(f: f64) {
+        assert!((0.0..=1.0).contains(&f), "fraction must be in [0, 1]");
+    }
+
+    /// Overall fraction of encrypted packets `q^(𝒫)` given the I-packet
+    /// share `p_I` of the stream (eq. 4 / Section 4.3).
+    pub fn encrypted_fraction(&self, p_i: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p_i), "p_I must be a probability");
+        p_i * self.encrypt_prob(FrameType::I) + (1.0 - p_i) * self.encrypt_prob(FrameType::P)
+    }
+
+    /// Deterministic per-packet decision, for simulation. `unit` must be a
+    /// uniform [0,1) draw (or a hash) attached to the packet.
+    pub fn should_encrypt(&self, ftype: FrameType, unit: f64) -> bool {
+        unit < self.encrypt_prob(ftype)
+    }
+
+    /// Figure-label string ("none", "P", "I", "all", "I+20%P", "50%I").
+    pub fn label(&self) -> String {
+        match self {
+            EncryptionMode::None => "none".into(),
+            EncryptionMode::All => "all".into(),
+            EncryptionMode::IFrames => "I".into(),
+            EncryptionMode::PFrames => "P".into(),
+            EncryptionMode::IPlusFractionP(a) => format!("I+{:.0}%P", a * 100.0),
+            EncryptionMode::FractionI(b) => format!("{:.0}%I", b * 100.0),
+        }
+    }
+}
+
+impl std::fmt::Display for EncryptionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Error from parsing an [`EncryptionMode`] label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModeError(String);
+
+impl std::fmt::Display for ParseModeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown encryption mode '{}' (expected none, I, P, all, I+<n>%P or <n>%I)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseModeError {}
+
+impl std::str::FromStr for EncryptionMode {
+    type Err = ParseModeError;
+
+    /// Parse the figure-label syntax produced by [`EncryptionMode::label`]:
+    /// `none`, `I`, `P`, `all`, `I+20%P`, `50%I` (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        match t.to_ascii_lowercase().as_str() {
+            "none" => return Ok(EncryptionMode::None),
+            "all" => return Ok(EncryptionMode::All),
+            "i" => return Ok(EncryptionMode::IFrames),
+            "p" => return Ok(EncryptionMode::PFrames),
+            _ => {}
+        }
+        let lower = t.to_ascii_lowercase();
+        if let Some(rest) = lower.strip_prefix("i+") {
+            if let Some(num) = rest.strip_suffix("%p") {
+                if let Ok(pct) = num.trim().parse::<f64>() {
+                    if (0.0..=100.0).contains(&pct) {
+                        return Ok(EncryptionMode::IPlusFractionP(pct / 100.0));
+                    }
+                }
+            }
+        }
+        if let Some(num) = lower.strip_suffix("%i") {
+            if let Ok(pct) = num.trim().parse::<f64>() {
+                if (0.0..=100.0).contains(&pct) {
+                    return Ok(EncryptionMode::FractionI(pct / 100.0));
+                }
+            }
+        }
+        Err(ParseModeError(t.to_string()))
+    }
+}
+
+/// A full selection policy 𝒫 = (cipher, packet-selection rule).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Policy {
+    /// Symmetric cipher used for selected packets.
+    pub algorithm: Algorithm,
+    /// Which packets are selected.
+    pub mode: EncryptionMode,
+}
+
+impl Policy {
+    /// Construct a policy.
+    pub fn new(algorithm: Algorithm, mode: EncryptionMode) -> Self {
+        Policy { algorithm, mode }
+    }
+
+    /// The twelve policies of Section 6.1 (3 ciphers × 4 modes).
+    pub fn all_table1() -> Vec<Policy> {
+        let mut out = Vec::with_capacity(12);
+        for algorithm in Algorithm::ALL {
+            for mode in EncryptionMode::TABLE1 {
+                out.push(Policy { algorithm, mode });
+            }
+        }
+        out
+    }
+
+    /// Figure label, e.g. "AES256/I".
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.algorithm, self.mode)
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extreme_modes() {
+        assert_eq!(EncryptionMode::None.encrypted_fraction(0.3), 0.0);
+        assert_eq!(EncryptionMode::All.encrypted_fraction(0.3), 1.0);
+    }
+
+    #[test]
+    fn class_selective_modes() {
+        let p_i = 0.25;
+        assert_eq!(EncryptionMode::IFrames.encrypted_fraction(p_i), 0.25);
+        assert_eq!(EncryptionMode::PFrames.encrypted_fraction(p_i), 0.75);
+        assert_eq!(
+            EncryptionMode::IFrames.encrypt_prob(FrameType::I),
+            1.0
+        );
+        assert_eq!(
+            EncryptionMode::IFrames.encrypt_prob(FrameType::P),
+            0.0
+        );
+    }
+
+    #[test]
+    fn mixture_mode_math() {
+        let m = EncryptionMode::IPlusFractionP(0.2);
+        assert_eq!(m.encrypt_prob(FrameType::I), 1.0);
+        assert_eq!(m.encrypt_prob(FrameType::P), 0.2);
+        let p_i = 0.16;
+        let expected = p_i + (1.0 - p_i) * 0.2;
+        assert!((m.encrypted_fraction(p_i) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_i_mode() {
+        let m = EncryptionMode::FractionI(0.5);
+        assert_eq!(m.encrypt_prob(FrameType::I), 0.5);
+        assert_eq!(m.encrypt_prob(FrameType::P), 0.0);
+        assert_eq!(m.label(), "50%I");
+    }
+
+    #[test]
+    fn should_encrypt_thresholds() {
+        let m = EncryptionMode::IPlusFractionP(0.3);
+        assert!(m.should_encrypt(FrameType::P, 0.29));
+        assert!(!m.should_encrypt(FrameType::P, 0.31));
+        assert!(m.should_encrypt(FrameType::I, 0.99));
+        assert!(!EncryptionMode::None.should_encrypt(FrameType::I, 0.0));
+    }
+
+    #[test]
+    fn twelve_policies() {
+        let all = Policy::all_table1();
+        assert_eq!(all.len(), 12);
+        let labels: std::collections::BTreeSet<String> =
+            all.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 12);
+        assert!(labels.contains("AES256/I"));
+        assert!(labels.contains("3DES/all"));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in [0, 1]")]
+    fn invalid_fraction_panics() {
+        EncryptionMode::IPlusFractionP(1.5).encrypt_prob(FrameType::P);
+    }
+
+    #[test]
+    fn mode_labels_roundtrip_through_fromstr() {
+        for mode in [
+            EncryptionMode::None,
+            EncryptionMode::All,
+            EncryptionMode::IFrames,
+            EncryptionMode::PFrames,
+            EncryptionMode::IPlusFractionP(0.2),
+            EncryptionMode::FractionI(0.5),
+        ] {
+            let parsed: EncryptionMode = mode.label().parse().unwrap();
+            assert_eq!(parsed, mode, "label {}", mode.label());
+        }
+        // Case-insensitive and whitespace-tolerant.
+        assert_eq!(" ALL ".parse::<EncryptionMode>().unwrap(), EncryptionMode::All);
+        assert_eq!(
+            "i+25%p".parse::<EncryptionMode>().unwrap(),
+            EncryptionMode::IPlusFractionP(0.25)
+        );
+        assert!("garbage".parse::<EncryptionMode>().is_err());
+        assert!("I+200%P".parse::<EncryptionMode>().is_err());
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(EncryptionMode::None.label(), "none");
+        assert_eq!(EncryptionMode::PFrames.label(), "P");
+        assert_eq!(EncryptionMode::IFrames.label(), "I");
+        assert_eq!(EncryptionMode::All.label(), "all");
+        assert_eq!(EncryptionMode::IPlusFractionP(0.2).label(), "I+20%P");
+    }
+}

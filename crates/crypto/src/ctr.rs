@@ -1,0 +1,173 @@
+//! Counter (CTR) mode, NIST SP 800-38A §6.5.
+//!
+//! Not used by the paper (which picked OFB), but included as the natural
+//! modern comparison point: CTR shares OFB's one-byte error containment
+//! while additionally allowing random access into the keystream — which is
+//! exactly what a receiver reassembling out-of-order RTP fragments wants.
+//! The mode-choice tests quantify the comparison.
+
+use crate::BlockCipher;
+
+/// CTR keystream generator: block `i` is `E_K(counter_block(iv, i))`, where
+/// the low 64 bits of the counter block hold a big-endian block index added
+/// to the IV's initial value.
+pub struct Ctr<'c, C: BlockCipher + ?Sized> {
+    cipher: &'c C,
+    iv: Vec<u8>,
+}
+
+impl<'c, C: BlockCipher + ?Sized> Ctr<'c, C> {
+    /// Create a CTR context from a one-block initial counter value.
+    ///
+    /// # Panics
+    /// If `iv.len() != cipher.block_size()`.
+    pub fn new(cipher: &'c C, iv: &[u8]) -> Self {
+        assert_eq!(
+            iv.len(),
+            cipher.block_size(),
+            "CTR IV must be exactly one block"
+        );
+        Ctr {
+            cipher,
+            iv: iv.to_vec(),
+        }
+    }
+
+    fn counter_block(&self, index: u64) -> Vec<u8> {
+        let mut block = self.iv.clone();
+        let n = block.len();
+        // Add `index` into the low 64 bits (big-endian) with carry.
+        let low_start = n - 8;
+        let current = u64::from_be_bytes(block[low_start..].try_into().expect("8 bytes"));
+        let (sum, _carry) = current.overflowing_add(index);
+        block[low_start..].copy_from_slice(&sum.to_be_bytes());
+        block
+    }
+
+    /// XOR the keystream over `data` starting at keystream byte offset
+    /// `offset` — random access, no need to generate earlier bytes.
+    pub fn apply_at(&self, offset: usize, data: &mut [u8]) {
+        let block = self.cipher.block_size();
+        let mut pos = offset;
+        let mut i = 0usize;
+        while i < data.len() {
+            let block_index = (pos / block) as u64;
+            let within = pos % block;
+            let mut ks = self.counter_block(block_index);
+            self.cipher.encrypt_block(&mut ks);
+            let take = (block - within).min(data.len() - i);
+            for k in 0..take {
+                data[i + k] ^= ks[within + k];
+            }
+            i += take;
+            pos += take;
+        }
+    }
+
+    /// XOR the keystream over `data` from offset 0.
+    pub fn apply(&self, data: &mut [u8]) {
+        self.apply_at(0, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::Aes128;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sp800_38a_ctr_aes128_vector() {
+        // NIST SP 800-38A F.5.1.
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let iv = hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+        let cipher = Aes128::new(&key);
+        let mut data = hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51"
+        ));
+        Ctr::new(&cipher, &iv).apply(&mut data);
+        assert_eq!(
+            data,
+            hex(concat!(
+                "874d6191b620e3261bef6864990db6ce",
+                "9806f66b7970fdff8617187bb9fffdff"
+            ))
+        );
+    }
+
+    #[test]
+    fn ctr_is_an_involution() {
+        let key: [u8; 16] = [5; 16];
+        let cipher = Aes128::new(&key);
+        let iv = [0u8; 16];
+        let original: Vec<u8> = (0..777u32).map(|i| (i * 13 % 256) as u8).collect();
+        let mut data = original.clone();
+        let ctr = Ctr::new(&cipher, &iv);
+        ctr.apply(&mut data);
+        assert_ne!(data, original);
+        ctr.apply(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn random_access_matches_sequential() {
+        // Decrypting a middle fragment with `apply_at` must match the
+        // sequential keystream — the out-of-order-RTP use case.
+        let key: [u8; 16] = [0xC7; 16];
+        let cipher = Aes128::new(&key);
+        let iv = [9u8; 16];
+        let ctr = Ctr::new(&cipher, &iv);
+        let mut full = vec![0u8; 200];
+        ctr.apply(&mut full);
+        for (start, len) in [(0usize, 16usize), (5, 40), (16, 16), (33, 100), (199, 1)] {
+            let mut fragment = vec![0u8; len];
+            ctr.apply_at(start, &mut fragment);
+            assert_eq!(&fragment, &full[start..start + len], "offset {start}");
+        }
+    }
+
+    #[test]
+    fn counter_carries_across_iv_boundary() {
+        // IV with the low word at u64::MAX − 1 must wrap cleanly.
+        let key: [u8; 16] = [1; 16];
+        let cipher = Aes128::new(&key);
+        let mut iv = [0u8; 16];
+        iv[8..].copy_from_slice(&(u64::MAX - 1).to_be_bytes());
+        let ctr = Ctr::new(&cipher, &iv);
+        let mut data = vec![0u8; 64]; // spans the wrap
+        ctr.apply(&mut data);
+        // Still an involution across the wrap.
+        let mut copy = data.clone();
+        ctr.apply(&mut copy);
+        assert!(copy.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn single_bit_error_stays_single_byte() {
+        let key: [u8; 16] = [2; 16];
+        let cipher = Aes128::new(&key);
+        let iv = [4u8; 16];
+        let pt: Vec<u8> = (0..64u8).collect();
+        let mut ct = pt.clone();
+        Ctr::new(&cipher, &iv).apply(&mut ct);
+        ct[33] ^= 0xFF;
+        Ctr::new(&cipher, &iv).apply(&mut ct);
+        let garbled = ct.iter().zip(pt.iter()).filter(|(a, b)| a != b).count();
+        assert_eq!(garbled, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "CTR IV must be exactly one block")]
+    fn wrong_iv_length_panics() {
+        let key: [u8; 16] = [0; 16];
+        let cipher = Aes128::new(&key);
+        let _ = Ctr::new(&cipher, &[0u8; 8]);
+    }
+}

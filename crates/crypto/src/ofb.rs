@@ -1,0 +1,146 @@
+//! Output Feedback (OFB) stream mode, NIST SP 800-38A §6.4.
+//!
+//! OFB turns a block cipher into a synchronous stream cipher:
+//! `O₀ = IV`, `Oᵢ = E_K(Oᵢ₋₁)`, `Cᵢ = Pᵢ ⊕ Oᵢ`. Encryption and decryption
+//! are the same operation, and — as the paper notes in Section 5 — a bit
+//! error in one ciphertext block does not propagate to later blocks of the
+//! keystream, which is why the Android app applies OFB per video segment.
+
+use crate::BlockCipher;
+
+/// An OFB keystream generator over any [`BlockCipher`].
+///
+/// The struct borrows the cipher, holds the current feedback block, and
+/// hands out keystream lazily; [`apply`](Ofb::apply) XORs it over a buffer
+/// of any length (the final partial block of keystream is discarded, per
+/// SP 800-38A).
+pub struct Ofb<'c, C: BlockCipher + ?Sized> {
+    cipher: &'c C,
+    feedback: Vec<u8>,
+    /// Next unread keystream byte within `feedback`; `block_size` means the
+    /// current block is exhausted.
+    cursor: usize,
+}
+
+impl<'c, C: BlockCipher + ?Sized> Ofb<'c, C> {
+    /// Start a keystream from `iv`, which must be exactly one block long.
+    ///
+    /// # Panics
+    /// If `iv.len() != cipher.block_size()`.
+    pub fn new(cipher: &'c C, iv: &[u8]) -> Self {
+        assert_eq!(
+            iv.len(),
+            cipher.block_size(),
+            "OFB IV must be exactly one block"
+        );
+        Ofb {
+            cipher,
+            feedback: iv.to_vec(),
+            // Force a block-encryption before the first byte is used: O₁ is
+            // the first keystream block, the raw IV is never output.
+            cursor: iv.len(),
+        }
+    }
+
+    /// Produce the next keystream byte.
+    #[inline]
+    pub fn next_byte(&mut self) -> u8 {
+        if self.cursor == self.feedback.len() {
+            self.cipher.encrypt_block(&mut self.feedback);
+            self.cursor = 0;
+        }
+        let b = self.feedback[self.cursor];
+        self.cursor += 1;
+        b
+    }
+
+    /// XOR the keystream over `data` in place (encrypts or decrypts).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for b in data.iter_mut() {
+            *b ^= self.next_byte();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::Aes128;
+    use crate::des::TripleDes;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sp800_38a_ofb_aes128_vector() {
+        // NIST SP 800-38A F.4.1 (OFB-AES128):
+        // Key 2b7e151628aed2a6abf7158809cf4f3c, IV 000102030405060708090a0b0c0d0e0f
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let iv = hex("000102030405060708090a0b0c0d0e0f");
+        let cipher = Aes128::new(&key);
+        let mut data = hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51"
+        ));
+        Ofb::new(&cipher, &iv).apply(&mut data);
+        let expected = hex(concat!(
+            "3b3fd92eb72dad20333449f8e83cfb4a",
+            "7789508d16918f03f53c52dac54ed825"
+        ));
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn ofb_is_an_involution() {
+        let key: [u8; 16] = [9; 16];
+        let cipher = Aes128::new(&key);
+        let iv = [3u8; 16];
+        let original: Vec<u8> = (0..777u32).map(|i| (i * 7 % 256) as u8).collect();
+        let mut data = original.clone();
+        Ofb::new(&cipher, &iv).apply(&mut data);
+        Ofb::new(&cipher, &iv).apply(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn partial_block_lengths_work() {
+        let key: [u8; 24] = [1; 24];
+        let cipher = TripleDes::new(&key);
+        let iv = [0u8; 8];
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 100] {
+            let original = vec![0x5Au8; len];
+            let mut data = original.clone();
+            Ofb::new(&cipher, &iv).apply(&mut data);
+            Ofb::new(&cipher, &iv).apply(&mut data);
+            assert_eq!(data, original, "len={len}");
+        }
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        // Applying the keystream in several calls must equal one big call.
+        let key: [u8; 16] = [0xAB; 16];
+        let cipher = Aes128::new(&key);
+        let iv = [0x11u8; 16];
+        let mut a = vec![0u8; 100];
+        Ofb::new(&cipher, &iv).apply(&mut a);
+        let mut b = vec![0u8; 100];
+        let mut ofb = Ofb::new(&cipher, &iv);
+        for chunk in b.chunks_mut(7) {
+            ofb.apply(chunk);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "OFB IV must be exactly one block")]
+    fn wrong_iv_length_panics() {
+        let key: [u8; 16] = [0; 16];
+        let cipher = Aes128::new(&key);
+        let _ = Ofb::new(&cipher, &[0u8; 8]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Stochastic packet-loss channels.
+//!
+//! The experiment simulator transmits each packet through a loss channel;
+//! the analytical side only sees the long-run packet success rate `p_s`.
+//! Two channels are provided: i.i.d. Bernoulli losses (matching the
+//! analysis exactly) and a two-state Gilbert–Elliott channel for bursty
+//! losses, used by robustness experiments to probe where the i.i.d.
+//! assumption in eq. (20) starts to bias the model.
+
+use rand::Rng;
+
+/// A channel that decides, per packet, whether it is delivered.
+pub trait LossChannel {
+    /// Returns `true` if the packet survives the channel.
+    fn transmit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool;
+
+    /// Long-run packet success probability of this channel.
+    fn success_rate(&self) -> f64;
+}
+
+/// Independent losses with fixed success probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BernoulliChannel {
+    /// Probability a packet is delivered.
+    pub p_success: f64,
+}
+
+impl BernoulliChannel {
+    /// Build a channel; panics unless `p_success ∈ [0, 1]`.
+    pub fn new(p_success: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_success),
+            "success probability must be in [0, 1]"
+        );
+        BernoulliChannel { p_success }
+    }
+}
+
+impl LossChannel for BernoulliChannel {
+    fn transmit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        rng.gen_bool(self.p_success)
+    }
+
+    fn success_rate(&self) -> f64 {
+        self.p_success
+    }
+}
+
+/// Two-state Markov (Gilbert–Elliott) channel: a Good state with high
+/// delivery probability and a Bad state with low delivery probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliottChannel {
+    /// P(good → bad) per packet.
+    pub p_gb: f64,
+    /// P(bad → good) per packet.
+    pub p_bg: f64,
+    /// Delivery probability in the Good state.
+    pub good_success: f64,
+    /// Delivery probability in the Bad state.
+    pub bad_success: f64,
+    in_good: bool,
+}
+
+impl GilbertElliottChannel {
+    /// Build a channel starting in the Good state.
+    pub fn new(p_gb: f64, p_bg: f64, good_success: f64, bad_success: f64) -> Self {
+        for (name, v) in [
+            ("p_gb", p_gb),
+            ("p_bg", p_bg),
+            ("good_success", good_success),
+            ("bad_success", bad_success),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} must be in [0, 1]");
+        }
+        assert!(p_gb + p_bg > 0.0, "chain must be irreducible");
+        GilbertElliottChannel {
+            p_gb,
+            p_bg,
+            good_success,
+            bad_success,
+            in_good: true,
+        }
+    }
+
+    /// Stationary probability of being in the Good state.
+    pub fn stationary_good(&self) -> f64 {
+        self.p_bg / (self.p_gb + self.p_bg)
+    }
+}
+
+impl LossChannel for GilbertElliottChannel {
+    fn transmit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        // State transition first, then a delivery draw in the new state.
+        let flip = if self.in_good { self.p_gb } else { self.p_bg };
+        if rng.gen_bool(flip) {
+            self.in_good = !self.in_good;
+        }
+        let p = if self.in_good {
+            self.good_success
+        } else {
+            self.bad_success
+        };
+        rng.gen_bool(p)
+    }
+
+    fn success_rate(&self) -> f64 {
+        let pg = self.stationary_good();
+        pg * self.good_success + (1.0 - pg) * self.bad_success
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernoulli_empirical_rate_matches() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ch = BernoulliChannel::new(0.9);
+        let n = 100_000;
+        let delivered = (0..n).filter(|_| ch.transmit(&mut rng)).count();
+        let rate = delivered as f64 / n as f64;
+        assert!((rate - 0.9).abs() < 0.01, "rate={rate}");
+        assert_eq!(ch.success_rate(), 0.9);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut perfect = BernoulliChannel::new(1.0);
+        let mut broken = BernoulliChannel::new(0.0);
+        for _ in 0..100 {
+            assert!(perfect.transmit(&mut rng));
+            assert!(!broken.transmit(&mut rng));
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut ch = GilbertElliottChannel::new(0.05, 0.2, 0.99, 0.5);
+        let n = 200_000;
+        let delivered = (0..n).filter(|_| ch.transmit(&mut rng)).count();
+        let rate = delivered as f64 / n as f64;
+        assert!(
+            (rate - ch.success_rate()).abs() < 0.01,
+            "empirical {rate} vs analytic {}",
+            ch.success_rate()
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_distribution() {
+        let ch = GilbertElliottChannel::new(0.1, 0.3, 1.0, 0.0);
+        assert!((ch.stationary_good() - 0.75).abs() < 1e-12);
+        assert!((ch.success_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Mean loss-run length must exceed the i.i.d. value for the same
+        // overall rate.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ge = GilbertElliottChannel::new(0.01, 0.1, 1.0, 0.2);
+        let mut runs = Vec::new();
+        let mut current = 0usize;
+        for _ in 0..200_000 {
+            if ge.transmit(&mut rng) {
+                if current > 0 {
+                    runs.push(current);
+                    current = 0;
+                }
+            } else {
+                current += 1;
+            }
+        }
+        let mean_run: f64 = runs.iter().sum::<usize>() as f64 / runs.len() as f64;
+        let loss_rate = 1.0 - ge.success_rate();
+        let iid_mean_run = 1.0 / (1.0 - loss_rate);
+        assert!(
+            mean_run > 1.5 * iid_mean_run,
+            "mean_run={mean_run}, iid={iid_mean_run}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn invalid_probability_rejected() {
+        BernoulliChannel::new(1.5);
+    }
+}

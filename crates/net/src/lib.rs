@@ -1,0 +1,41 @@
+//! # thrifty-net
+//!
+//! Network substrate for the CoNEXT 2013 reproduction: the pieces the paper
+//! obtained from a live 802.11g WLAN and `tcpdump`, rebuilt as models and
+//! wire formats.
+//!
+//! * [`dcf`] — an IEEE 802.11 DCF fixed-point model (Bianchi 2000) standing
+//!   in for the paper's reference \[13\] (Baras et al.), itself a fixed-point
+//!   MAC/PHY model. It produces the two quantities Section 4 consumes: the
+//!   packet success rate `p_s` and the backoff rate `λ_b`, plus 802.11g
+//!   airtime arithmetic for the transmission time `T_t`.
+//! * [`channel`] — stochastic packet-loss channels (Bernoulli and
+//!   Gilbert–Elliott) used by the experiment simulator.
+//! * [`wire`] — RTP and UDP wire formats in the smoltcp style (typed views
+//!   over byte buffers). The RTP **marker bit signals encryption** exactly
+//!   as in the paper's Section 5.
+//! * [`tcp`] — a simplified TCP segment format (with the paper's §6.4
+//!   marker option) and a retransmission latency model for the HTTP/TCP
+//!   experiments (Figures 12–15).
+//! * [`capture`] — the eavesdropper's `tcpdump` substitute: a passive tap
+//!   that records every packet crossing the channel.
+//! * [`traffic`] — the Section 3 traffic-analysis attack (size-based I/P
+//!   classification) and the padding countermeasure the paper mentions but
+//!   leaves out of scope.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod channel;
+pub mod dcf;
+pub mod tcp;
+pub mod traffic;
+pub mod wire;
+
+pub use capture::{CapturedPacket, PacketCapture};
+pub use channel::{BernoulliChannel, GilbertElliottChannel, LossChannel};
+pub use dcf::{DcfModel, DcfSolution, PhyParams};
+pub use tcp::{TcpLatencyModel, TcpSegment};
+pub use traffic::{PaddingPolicy, SizeClass, SizeClassifier};
+pub use wire::{RtpHeader, RtpPacket, UdpHeader, RTP_HEADER_LEN, UDP_IP_OVERHEAD};

@@ -1,0 +1,287 @@
+//! RTP and UDP wire formats (typed views over byte buffers).
+//!
+//! The paper's sender encapsulates each (possibly encrypted) video segment
+//! in an RTP packet over UDP, and sets the **RTP marker bit** to tell the
+//! legitimate receiver that the payload is encrypted (Section 5). These are
+//! real RFC 3550 / RFC 768 encodings, in the style of smoltcp: a zero-copy
+//! `Packet<T>` wrapper with checked construction and field accessors.
+
+use bytes::{BufMut, BytesMut};
+
+/// RTP fixed header length, bytes (no CSRC, no extension).
+pub const RTP_HEADER_LEN: usize = 12;
+
+/// UDP (8) + IPv4 (20) header overhead added below RTP, bytes.
+pub const UDP_IP_OVERHEAD: usize = 28;
+
+/// Errors from parsing wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer shorter than the fixed header.
+    Truncated {
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// RTP version field is not 2.
+    BadVersion(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { need, got } => {
+                write!(f, "truncated packet: need {need} bytes, got {got}")
+            }
+            WireError::BadVersion(v) => write!(f, "unsupported RTP version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Decoded RTP header fields (the subset the application uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtpHeader {
+    /// Marker bit — set ⇔ the payload is encrypted (paper Section 5).
+    pub marker: bool,
+    /// Payload type (96 = dynamic, used for our H.264 profile).
+    pub payload_type: u8,
+    /// Sequence number.
+    pub sequence: u16,
+    /// Media timestamp (90 kHz clock for video).
+    pub timestamp: u32,
+    /// Synchronisation source identifier.
+    pub ssrc: u32,
+}
+
+impl RtpHeader {
+    /// Serialise header + payload into a fresh buffer.
+    pub fn emit(&self, payload: &[u8]) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(RTP_HEADER_LEN + payload.len());
+        buf.put_u8(2 << 6); // V=2, P=0, X=0, CC=0
+        buf.put_u8(((self.marker as u8) << 7) | (self.payload_type & 0x7f));
+        buf.put_u16(self.sequence);
+        buf.put_u32(self.timestamp);
+        buf.put_u32(self.ssrc);
+        buf.put_slice(payload);
+        buf.to_vec()
+    }
+}
+
+/// A typed view over an RTP packet buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> RtpPacket<T> {
+    /// Wrap a buffer, validating length and version.
+    pub fn parse(buffer: T) -> Result<Self, WireError> {
+        let b = buffer.as_ref();
+        if b.len() < RTP_HEADER_LEN {
+            return Err(WireError::Truncated {
+                need: RTP_HEADER_LEN,
+                got: b.len(),
+            });
+        }
+        let version = b[0] >> 6;
+        if version != 2 {
+            return Err(WireError::BadVersion(version));
+        }
+        Ok(RtpPacket { buffer })
+    }
+
+    /// Decoded header fields.
+    pub fn header(&self) -> RtpHeader {
+        let b = self.buffer.as_ref();
+        RtpHeader {
+            marker: b[1] & 0x80 != 0,
+            payload_type: b[1] & 0x7f,
+            sequence: u16::from_be_bytes([b[2], b[3]]),
+            timestamp: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
+            ssrc: u32::from_be_bytes([b[8], b[9], b[10], b[11]]),
+        }
+    }
+
+    /// The payload after the fixed header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[RTP_HEADER_LEN..]
+    }
+
+    /// Consume the view and return the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> RtpPacket<T> {
+    /// Mutable access to the payload (used for in-place decryption).
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[RTP_HEADER_LEN..]
+    }
+
+    /// Set or clear the marker (encryption) bit in place.
+    pub fn set_marker(&mut self, marker: bool) {
+        let b = self.buffer.as_mut();
+        if marker {
+            b[1] |= 0x80;
+        } else {
+            b[1] &= 0x7f;
+        }
+    }
+}
+
+/// Decoded UDP header (RFC 768).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Total datagram length (header + payload), bytes.
+    pub length: u16,
+}
+
+impl UdpHeader {
+    /// Serialise header + payload (checksum transmitted as 0 — legal for
+    /// IPv4 UDP and irrelevant to the model).
+    pub fn emit(&self, payload: &[u8]) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(8 + payload.len());
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u16(8 + payload.len() as u16);
+        buf.put_u16(0);
+        buf.put_slice(payload);
+        buf.to_vec()
+    }
+
+    /// Parse a datagram into header and payload.
+    pub fn parse(buffer: &[u8]) -> Result<(UdpHeader, &[u8]), WireError> {
+        if buffer.len() < 8 {
+            return Err(WireError::Truncated {
+                need: 8,
+                got: buffer.len(),
+            });
+        }
+        let length = u16::from_be_bytes([buffer[4], buffer[5]]);
+        if (length as usize) > buffer.len() {
+            return Err(WireError::Truncated {
+                need: length as usize,
+                got: buffer.len(),
+            });
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([buffer[0], buffer[1]]),
+                dst_port: u16::from_be_bytes([buffer[2], buffer[3]]),
+                length,
+            },
+            &buffer[8..length as usize],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> RtpHeader {
+        RtpHeader {
+            marker: true,
+            payload_type: 96,
+            sequence: 4242,
+            timestamp: 900_000,
+            ssrc: 0xDEAD_BEEF,
+        }
+    }
+
+    #[test]
+    fn rtp_roundtrip() {
+        let payload = b"encrypted video segment";
+        let wire = header().emit(payload);
+        assert_eq!(wire.len(), RTP_HEADER_LEN + payload.len());
+        let pkt = RtpPacket::parse(wire.as_slice()).unwrap();
+        assert_eq!(pkt.header(), header());
+        assert_eq!(pkt.payload(), payload);
+    }
+
+    #[test]
+    fn marker_bit_signals_encryption() {
+        let mut h = header();
+        h.marker = false;
+        let mut wire = h.emit(b"plain");
+        {
+            let pkt = RtpPacket::parse(wire.as_slice()).unwrap();
+            assert!(!pkt.header().marker);
+        }
+        let mut pkt = RtpPacket::parse(wire.as_mut_slice()).unwrap();
+        pkt.set_marker(true);
+        assert!(pkt.header().marker);
+        // Setting the marker must not disturb the payload type.
+        assert_eq!(pkt.header().payload_type, 96);
+        pkt.set_marker(false);
+        assert!(!pkt.header().marker);
+    }
+
+    #[test]
+    fn payload_mut_allows_inplace_decryption() {
+        let mut wire = header().emit(&[0xFF; 8]);
+        let mut pkt = RtpPacket::parse(wire.as_mut_slice()).unwrap();
+        for b in pkt.payload_mut() {
+            *b ^= 0xFF;
+        }
+        assert_eq!(pkt.payload(), &[0u8; 8]);
+    }
+
+    #[test]
+    fn short_rtp_rejected() {
+        assert_eq!(
+            RtpPacket::parse(&[0u8; 4][..]),
+            Err(WireError::Truncated { need: 12, got: 4 })
+        );
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut wire = header().emit(b"x");
+        wire[0] = 1 << 6;
+        assert_eq!(
+            RtpPacket::parse(wire.as_slice()),
+            Err(WireError::BadVersion(1))
+        );
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        let h = UdpHeader {
+            src_port: 5004,
+            dst_port: 5006,
+            length: 0, // filled by emit
+        };
+        let wire = h.emit(b"datagram");
+        let (parsed, payload) = UdpHeader::parse(&wire).unwrap();
+        assert_eq!(parsed.src_port, 5004);
+        assert_eq!(parsed.dst_port, 5006);
+        assert_eq!(parsed.length as usize, 8 + 8);
+        assert_eq!(payload, b"datagram");
+    }
+
+    #[test]
+    fn udp_truncation_detected() {
+        let wire = UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+            length: 0,
+        }
+        .emit(b"abcdef");
+        assert!(UdpHeader::parse(&wire[..wire.len() - 2]).is_err());
+        assert!(UdpHeader::parse(&wire[..4]).is_err());
+    }
+
+    #[test]
+    fn overhead_constant_matches_headers() {
+        assert_eq!(UDP_IP_OVERHEAD, 8 + 20);
+    }
+}

@@ -1,0 +1,309 @@
+//! The two-state Markov-modulated Poisson process of Section 4.2.1.
+//!
+//! Packets of a video flow arrive in two phases: dense I-frame fragment
+//! trains (phase 1, rate λ₁) and sparse P-frame packets (phase 2, rate λ₂),
+//! modulated by a continuous-time Markov chain with transition rates p₁
+//! (1→2) and p₂ (2→1). This module owns the generator `R` and rate matrix
+//! `Λ` of eq. (1), the equilibrium vector π of eq. (2), exact simulation of
+//! the process, and the moment estimator used to calibrate the model from
+//! an observed, labelled arrival sequence (Section 6.1).
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// A 2-state MMPP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mmpp2 {
+    /// Transition rate from phase 1 to phase 2 (the paper's p₁), 1/s.
+    pub p1: f64,
+    /// Transition rate from phase 2 to phase 1 (the paper's p₂), 1/s.
+    pub p2: f64,
+    /// Arrival rate in phase 1 (I-frame fragment trains), 1/s.
+    pub lambda1: f64,
+    /// Arrival rate in phase 2 (P-frame packets), 1/s.
+    pub lambda2: f64,
+}
+
+impl Mmpp2 {
+    /// Construct, validating positivity.
+    pub fn new(p1: f64, p2: f64, lambda1: f64, lambda2: f64) -> Self {
+        assert!(p1 > 0.0 && p2 > 0.0, "transition rates must be positive");
+        assert!(
+            lambda1 >= 0.0 && lambda2 >= 0.0,
+            "arrival rates must be nonnegative"
+        );
+        Mmpp2 {
+            p1,
+            p2,
+            lambda1,
+            lambda2,
+        }
+    }
+
+    /// A degenerate MMPP that is exactly a Poisson process of rate λ
+    /// (both phases identical) — used to cross-check against M/G/1.
+    pub fn poisson(lambda: f64) -> Self {
+        Mmpp2::new(1.0, 1.0, lambda, lambda)
+    }
+
+    /// The infinitesimal generator `R` of eq. (1).
+    pub fn generator(&self) -> Matrix {
+        Matrix::from_rows(&[&[-self.p1, self.p1], &[self.p2, -self.p2]])
+    }
+
+    /// The arrival-rate matrix `Λ` of eq. (1).
+    pub fn rate_matrix(&self) -> Matrix {
+        Matrix::diag(&[self.lambda1, self.lambda2])
+    }
+
+    /// Equilibrium phase probabilities π = (p₂, p₁)/(p₁+p₂), eq. (2).
+    pub fn equilibrium(&self) -> [f64; 2] {
+        let s = self.p1 + self.p2;
+        [self.p2 / s, self.p1 / s]
+    }
+
+    /// Long-run mean arrival rate λ̄ = πλ.
+    pub fn mean_rate(&self) -> f64 {
+        let pi = self.equilibrium();
+        pi[0] * self.lambda1 + pi[1] * self.lambda2
+    }
+
+    /// Sample `n` arrival epochs (seconds from 0), starting in equilibrium.
+    ///
+    /// Exact competing-exponentials simulation of the Markov-modulated
+    /// process; also returns each arrival's phase (1 or 2).
+    pub fn sample_arrivals<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<(f64, u8)> {
+        let mut out = Vec::with_capacity(n);
+        let pi = self.equilibrium();
+        let mut phase1 = rng.gen_bool(pi[0]);
+        let mut t = 0.0f64;
+        while out.len() < n {
+            let (rate, switch_rate) = if phase1 {
+                (self.lambda1, self.p1)
+            } else {
+                (self.lambda2, self.p2)
+            };
+            let t_switch = exp_sample(rng, switch_rate);
+            // With rate 0 no arrival can occur in this phase.
+            let t_arrival = if rate > 0.0 {
+                exp_sample(rng, rate)
+            } else {
+                f64::INFINITY
+            };
+            if t_arrival < t_switch {
+                t += t_arrival;
+                out.push((t, if phase1 { 1 } else { 2 }));
+            } else {
+                t += t_switch;
+                phase1 = !phase1;
+            }
+        }
+        out
+    }
+
+    /// Estimate MMPP parameters from labelled arrivals — the calibration
+    /// step of Section 6.1 ("the times of insertion of video segments into
+    /// the internal queue and their type are used to estimate the 2-MMPP
+    /// parameters").
+    ///
+    /// `arrivals` are `(time_s, is_phase1)` pairs in increasing time order:
+    /// phase 1 ⇔ the packet belongs to an I-frame. Consecutive same-label
+    /// runs are treated as phase sojourns. Returns `None` when either phase
+    /// has fewer than two arrivals (rates unidentifiable).
+    pub fn fit_labeled(arrivals: &[(f64, bool)]) -> Option<Mmpp2> {
+        if arrivals.len() < 4 {
+            return None;
+        }
+        // Decompose the labelled sequence into runs of equal labels. Within
+        // a phase-j run, consecutive gaps are Exp(λⱼ + pⱼ) (the next event
+        // is either another arrival or a phase switch, whichever fires
+        // first), and the run length is Geometric with continuation
+        // probability c = λⱼ/(λⱼ + pⱼ). Estimating the total event rate
+        // μⱼ = 1/mean(gap) and c = 1 − 1/mean(run length) splits μⱼ into
+        // λⱼ = c·μⱼ and pⱼ = (1−c)·μⱼ. Unlike attributing wall-clock run
+        // spans to phases, this is not polluted by the (unobservable)
+        // residence time of the *other* phase between runs.
+        let mut gaps: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+        let mut run_lengths = [0usize; 2]; // total arrivals in runs
+        let mut run_count = [0usize; 2];
+        let mut run_label = arrivals[0].1;
+        let mut run_len = 0usize;
+        let mut prev_t = f64::NEG_INFINITY;
+        for &(t, label) in arrivals {
+            assert!(
+                t >= prev_t || prev_t == f64::NEG_INFINITY,
+                "arrivals must be time-ordered"
+            );
+            let idx = if label { 0 } else { 1 };
+            if label == run_label && run_len > 0 {
+                gaps[idx].push(t - prev_t);
+                run_len += 1;
+            } else {
+                if run_len > 0 {
+                    let prev_idx = if run_label { 0 } else { 1 };
+                    run_lengths[prev_idx] += run_len;
+                    run_count[prev_idx] += 1;
+                }
+                run_label = label;
+                run_len = 1;
+            }
+            prev_t = t;
+        }
+        let last_idx = if run_label { 0 } else { 1 };
+        run_lengths[last_idx] += run_len;
+        run_count[last_idx] += 1;
+
+        if gaps[0].len() < 2 || gaps[1].len() < 2 || run_count[0] == 0 || run_count[1] == 0 {
+            return None;
+        }
+        let mut rates = [0.0f64; 2]; // λ per phase
+        let mut switch = [0.0f64; 2]; // p per phase
+        for idx in 0..2 {
+            // Labelled runs occasionally hide a round trip through the
+            // *other* phase (the excursion produced no arrival), which
+            // contaminates a small fraction of within-run gaps with large
+            // outliers. The median is robust to that; for Exp(μ) the median
+            // is ln2/μ.
+            gaps[idx].sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = gaps[idx][gaps[idx].len() / 2].max(f64::MIN_POSITIVE);
+            let mu = std::f64::consts::LN_2 / median; // λ + p
+            let mean_run = run_lengths[idx] as f64 / run_count[idx] as f64;
+            let c = (1.0 - 1.0 / mean_run).clamp(0.0, 1.0 - 1e-9);
+            rates[idx] = c * mu;
+            switch[idx] = (1.0 - c) * mu;
+        }
+        if rates[0] <= 0.0 || rates[1] <= 0.0 {
+            return None;
+        }
+        Some(Mmpp2::new(switch[0], switch[1], rates[0], rates[1]))
+    }
+}
+
+/// Exponential sample with the given rate; `INFINITY` for rate 0.
+fn exp_sample<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bursty() -> Mmpp2 {
+        // I-phase: 2000 pkt/s for ~5 ms bursts; P-phase: 30 pkt/s.
+        Mmpp2::new(200.0, 6.0, 2000.0, 30.0)
+    }
+
+    #[test]
+    fn equilibrium_matches_eq2() {
+        let m = bursty();
+        let pi = m.equilibrium();
+        assert!((pi[0] - 6.0 / 206.0).abs() < 1e-12);
+        assert!((pi[1] - 200.0 / 206.0).abs() < 1e-12);
+        assert!((pi[0] + pi[1] - 1.0).abs() < 1e-12);
+        // π is the left null vector of R.
+        let r = m.generator();
+        let res = r.vec_mul(&pi);
+        assert!(res[0].abs() < 1e-12 && res[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_rate_is_rate_weighted_equilibrium() {
+        let m = bursty();
+        let pi = m.equilibrium();
+        let expected = pi[0] * 2000.0 + pi[1] * 30.0;
+        assert!((m.mean_rate() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_degenerate_case() {
+        let m = Mmpp2::poisson(100.0);
+        assert_eq!(m.mean_rate(), 100.0);
+        assert_eq!(m.equilibrium(), [0.5, 0.5]);
+    }
+
+    #[test]
+    fn sampled_rate_matches_analytic() {
+        let m = bursty();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 60_000;
+        let arrivals = m.sample_arrivals(n, &mut rng);
+        let duration = arrivals.last().unwrap().0;
+        let rate = n as f64 / duration;
+        let expected = m.mean_rate();
+        assert!(
+            (rate - expected).abs() / expected < 0.05,
+            "sampled {rate}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn sampled_phases_follow_labels() {
+        let m = bursty();
+        let mut rng = StdRng::seed_from_u64(2);
+        let arrivals = m.sample_arrivals(20_000, &mut rng);
+        // Most arrivals should be phase-1 (I bursts dominate counts even
+        // though the chain spends most time in phase 2).
+        let phase1 = arrivals.iter().filter(|(_, p)| *p == 1).count();
+        let frac = phase1 as f64 / arrivals.len() as f64;
+        // Analytic fraction: π₁λ₁ / λ̄.
+        let pi = m.equilibrium();
+        let expected = pi[0] * m.lambda1 / m.mean_rate();
+        assert!((frac - expected).abs() < 0.05, "frac {frac} vs {expected}");
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let m = bursty();
+        let mut rng = StdRng::seed_from_u64(3);
+        let arrivals = m.sample_arrivals(5_000, &mut rng);
+        for w in arrivals.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+    }
+
+    #[test]
+    fn fit_recovers_parameters() {
+        let truth = bursty();
+        let mut rng = StdRng::seed_from_u64(4);
+        let arrivals: Vec<(f64, bool)> = truth
+            .sample_arrivals(120_000, &mut rng)
+            .into_iter()
+            .map(|(t, phase)| (t, phase == 1))
+            .collect();
+        let fit = Mmpp2::fit_labeled(&arrivals).unwrap();
+        for (name, got, want) in [
+            ("lambda1", fit.lambda1, truth.lambda1),
+            ("lambda2", fit.lambda2, truth.lambda2),
+            ("p1", fit.p1, truth.p1),
+            ("p2", fit.p2, truth.p2),
+        ] {
+            assert!(
+                (got - want).abs() / want < 0.25,
+                "{name}: fit {got} vs truth {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        assert!(Mmpp2::fit_labeled(&[]).is_none());
+        assert!(Mmpp2::fit_labeled(&[(0.1, true), (0.2, true)]).is_none());
+        // All one phase.
+        let one_phase: Vec<(f64, bool)> = (0..100).map(|i| (i as f64, true)).collect();
+        assert!(Mmpp2::fit_labeled(&one_phase).is_none());
+    }
+
+    #[test]
+    fn generator_rows_sum_to_zero() {
+        let r = bursty().generator();
+        for i in 0..2 {
+            assert!((r[(i, 0)] + r[(i, 1)]).abs() < 1e-12);
+        }
+    }
+}

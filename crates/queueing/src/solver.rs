@@ -1,0 +1,332 @@
+//! Matrix-analytic solution of the 2-MMPP/G/1 queue (paper Section 4.2.3).
+//!
+//! The paper evaluates the mean queueing delay E\[W\] with eq. (19), quoting
+//! the algorithmic solution of Heffes & Lucantoni \[18\] / the MMPP cookbook
+//! \[16\], which rests on Neuts' M/G/1-type theory \[25\] and Ramaswami's N/G/1
+//! analysis \[30\]. We implement the same machinery in its modern form:
+//!
+//! 1. Solve Lucantoni's matrix **G** from the fixed point
+//!    `G = Ĥ(Q − Λ + Λ·G)` where `Ĥ(M) = ∫ e^{Mt} dH(t)` is the matrix LST
+//!    of the service distribution, and find its stationary vector `g`.
+//! 2. Expand the stationary virtual-workload transform
+//!    `w̃(s)·[sI + Q − Λ + Λ·H̃(s)] = s(1−ρ)·g` in powers of `s`
+//!    (Lucantoni's BMAP/G/1 workload result, of which eq. (19) is the
+//!    mean): the zeroth order recovers `w̃(0) = π`, and the first order
+//!    yields the mean workload vector via a group-inverse solve with
+//!    `(Q + eπ)⁻¹` — the same `(R + eπ)⁻¹` appearing in eq. (19).
+//! 3. The mean waiting time of an **arriving** packet is the rate-biased
+//!    contraction `E\[W\] = −w₁·Λ·e / λ̄` (arrivals see the time-stationary
+//!    workload weighted by the arrival rate of their phase; for the
+//!    degenerate single-phase case this is PASTA and the whole computation
+//!    collapses to Pollaczek–Khinchine, which the tests assert).
+
+use crate::matrix::Matrix;
+use crate::mmpp::Mmpp2;
+use crate::service::ServiceDistribution;
+
+/// Why the queue could not be solved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolveError {
+    /// Offered load ρ = λ̄·E\[T\] is at or above 1.
+    Unstable {
+        /// The computed utilisation.
+        rho: f64,
+    },
+    /// The G fixed point failed to converge (pathological parameters).
+    NoConvergence {
+        /// Residual after the final iteration.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Unstable { rho } => write!(f, "queue is unstable: rho = {rho:.4} >= 1"),
+            SolveError::NoConvergence { residual } => {
+                write!(f, "G fixed point did not converge (residual {residual:.3e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// The 2-MMPP/G/1 queue: arrival process plus service distribution.
+#[derive(Debug, Clone)]
+pub struct MmppG1 {
+    /// The modulated arrival process (eq. 1).
+    pub mmpp: Mmpp2,
+    /// The per-packet service time (eqs. 3–18).
+    pub service: ServiceDistribution,
+}
+
+/// Solved performance measures.
+#[derive(Debug, Clone)]
+pub struct QueueSolution {
+    /// Utilisation ρ = λ̄ h₁.
+    pub rho: f64,
+    /// Long-run arrival rate λ̄.
+    pub mean_rate: f64,
+    /// First service moment h₁ = E\[T\].
+    pub h1: f64,
+    /// Second service moment h₂ = E\[T²\].
+    pub h2: f64,
+    /// Mean waiting time in queue of an arriving packet, seconds — the
+    /// quantity the paper's eq. (19) computes.
+    pub mean_wait_s: f64,
+    /// Mean sojourn (wait + service), seconds.
+    pub mean_sojourn_s: f64,
+    /// Mean virtual workload (time average), seconds.
+    pub mean_workload_s: f64,
+    /// Lucantoni's G matrix at the solution.
+    pub g_matrix: Matrix,
+    /// Stationary vector of G.
+    pub g_stationary: [f64; 2],
+    /// Fixed-point iterations used.
+    pub iterations: usize,
+}
+
+impl MmppG1 {
+    /// Build a queue model.
+    pub fn new(mmpp: Mmpp2, service: ServiceDistribution) -> Self {
+        MmppG1 { mmpp, service }
+    }
+
+    /// Solve for the stationary mean delay.
+    pub fn solve(&self) -> Result<QueueSolution, SolveError> {
+        let h1 = self.service.mean();
+        let h2 = self.service.moment2();
+        let lambda_bar = self.mmpp.mean_rate();
+        let rho = lambda_bar * h1;
+        if rho >= 1.0 {
+            return Err(SolveError::Unstable { rho });
+        }
+        let q = self.mmpp.generator();
+        let lam = self.mmpp.rate_matrix();
+        let pi = self.mmpp.equilibrium();
+
+        // --- Step 1: G fixed point -------------------------------------
+        let mut g = Matrix::zeros(2, 2);
+        let mut iterations = 0;
+        let mut residual = f64::INFINITY;
+        for it in 0..1000 {
+            iterations = it + 1;
+            // M = Q − Λ + Λ·G
+            let m = q.sub(&lam).add(&lam.mul(&g));
+            let g_next = self.service.matrix_lst(&m);
+            residual = g_next.sub(&g).max_abs();
+            g = g_next;
+            if residual < 1e-13 {
+                break;
+            }
+        }
+        if residual > 1e-8 {
+            return Err(SolveError::NoConvergence { residual });
+        }
+        // Stationary vector of the (stochastic) matrix G: solve gG = g,
+        // ge = 1 via a bordered linear system.
+        let a = Matrix::from_rows(&[&[g[(0, 0)] - 1.0, g[(1, 0)]], &[1.0, 1.0]]);
+        let gv = a
+            .solve(&[0.0, 1.0])
+            .expect("stationary vector of G must exist");
+        let g_stationary = [gv[0], gv[1]];
+
+        // --- Step 2: series expansion of the workload transform ---------
+        // u = (1−ρ)g − π + h₁·πΛ
+        let pi_lam = lam.vec_mul(&pi);
+        let u = [
+            (1.0 - rho) * g_stationary[0] - pi[0] + h1 * pi_lam[0],
+            (1.0 - rho) * g_stationary[1] - pi[1] + h1 * pi_lam[1],
+        ];
+        // (Q + eπ): rank-one correction making the generator invertible.
+        let e_pi = Matrix::from_rows(&[&[pi[0], pi[1]], &[pi[0], pi[1]]]);
+        let q_epi = q.add(&e_pi);
+        let q_epi_inv = q_epi
+            .inverse()
+            .expect("(Q + eπ) is nonsingular for an irreducible chain");
+        let a_vec = q_epi_inv.vec_mul(&u); // a = u·(Q+eπ)⁻¹  (row-vector form)
+        // c₁ from the second-order solvability condition:
+        // c₁ (1−ρ) = h₁·(aΛe) − (h₂/2)·λ̄
+        let a_lam_e: f64 = a_vec[0] * self.mmpp.lambda1 + a_vec[1] * self.mmpp.lambda2;
+        let c1 = (h1 * a_lam_e - 0.5 * h2 * lambda_bar) / (1.0 - rho);
+        let w1 = [a_vec[0] + c1 * pi[0], a_vec[1] + c1 * pi[1]];
+
+        // --- Step 3: contract to the performance measures ----------------
+        let mean_workload = -(w1[0] + w1[1]);
+        let mean_wait =
+            -(w1[0] * self.mmpp.lambda1 + w1[1] * self.mmpp.lambda2) / lambda_bar;
+        Ok(QueueSolution {
+            rho,
+            mean_rate: lambda_bar,
+            h1,
+            h2,
+            mean_wait_s: mean_wait,
+            mean_sojourn_s: mean_wait + h1,
+            mean_workload_s: mean_workload,
+            g_matrix: g,
+            g_stationary,
+            iterations,
+        })
+    }
+}
+
+/// Pollaczek–Khinchine mean waiting time for the M/G/1 reference case:
+/// `E\[W\] = λ·E\[T²\] / (2(1−ρ))`.
+pub fn pollaczek_khinchine_wait(lambda: f64, h1: f64, h2: f64) -> f64 {
+    let rho = lambda * h1;
+    assert!(rho < 1.0, "M/G/1 must be stable");
+    lambda * h2 / (2.0 * (1.0 - rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate::simulate_mmpp_g1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_rel(a: f64, b: f64, rel: f64, what: &str) {
+        let denom = b.abs().max(1e-300);
+        assert!((a - b).abs() / denom < rel, "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn degenerate_mmpp_reduces_to_pollaczek_khinchine() {
+        // λ₁ = λ₂ ⇒ plain M/G/1.
+        let lambda = 120.0;
+        for service in [
+            ServiceDistribution::point(0.004),
+            ServiceDistribution::gaussian(0.005, 0.001),
+        ] {
+            let queue = MmppG1::new(Mmpp2::poisson(lambda), service.clone());
+            let sol = queue.solve().unwrap();
+            let pk = pollaczek_khinchine_wait(lambda, service.mean(), service.moment2());
+            assert_rel(sol.mean_wait_s, pk, 1e-6, "PK reduction");
+            // With PASTA, workload mean equals waiting mean.
+            assert_rel(sol.mean_workload_s, pk, 1e-6, "workload = wait under PASTA");
+        }
+    }
+
+    #[test]
+    fn g_matrix_is_stochastic_at_solution() {
+        let queue = MmppG1::new(
+            Mmpp2::new(200.0, 6.0, 2000.0, 30.0),
+            ServiceDistribution::gaussian(0.002, 2e-4),
+        );
+        let sol = queue.solve().unwrap();
+        for i in 0..2 {
+            let row: f64 = sol.g_matrix[(i, 0)] + sol.g_matrix[(i, 1)];
+            assert_rel(row, 1.0, 1e-8, "G row sum");
+        }
+        assert_rel(
+            sol.g_stationary[0] + sol.g_stationary[1],
+            1.0,
+            1e-10,
+            "g normalisation",
+        );
+        assert!(sol.iterations > 1);
+    }
+
+    #[test]
+    fn matches_simulation_for_bursty_arrivals() {
+        // A genuinely modulated process at moderate load.
+        let mmpp = Mmpp2::new(40.0, 8.0, 600.0, 40.0);
+        let service = ServiceDistribution::gaussian(0.004, 4e-4);
+        let queue = MmppG1::new(mmpp, service.clone());
+        let sol = queue.solve().unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let sim = simulate_mmpp_g1(&mmpp, &service, 3_000_000, &mut rng);
+        assert_rel(sol.mean_wait_s, sim.mean_wait_s, 0.05, "analysis vs simulation");
+    }
+
+    #[test]
+    fn matches_simulation_with_backoff_component() {
+        use crate::service::ServiceComponent;
+        // Paper-shaped service: encryption mixture + geometric backoff + tx.
+        let mmpp = Mmpp2::new(100.0, 10.0, 900.0, 60.0);
+        let service = ServiceDistribution::from_parts(vec![
+            ServiceComponent::GaussianMixture(vec![(0.4, 3e-3, 3e-4), (0.6, 0.0, 0.0)]),
+            ServiceComponent::GeometricExponential {
+                success_prob: 0.9,
+                rate: 6944.0,
+            },
+            ServiceComponent::GaussianMixture(vec![(0.5, 3.2e-4, 3e-5), (0.5, 1.2e-4, 1e-5)]),
+        ]);
+        let queue = MmppG1::new(mmpp, service.clone());
+        let sol = queue.solve().unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let sim = simulate_mmpp_g1(&mmpp, &service, 3_000_000, &mut rng);
+        assert_rel(sol.mean_wait_s, sim.mean_wait_s, 0.06, "paper-shaped service");
+    }
+
+    #[test]
+    fn burstiness_raises_delay_over_poisson() {
+        let service = ServiceDistribution::point(0.004);
+        let poisson = MmppG1::new(Mmpp2::poisson(100.0), service.clone())
+            .solve()
+            .unwrap();
+        let bursty = MmppG1::new(Mmpp2::new(50.0, 2.75, 1000.0, 51.3), service)
+            .solve()
+            .unwrap();
+        assert!((bursty.mean_rate - poisson.mean_rate).abs() < 1.0);
+        assert!(
+            bursty.mean_wait_s > 1.5 * poisson.mean_wait_s,
+            "bursty {} vs poisson {}",
+            bursty.mean_wait_s,
+            poisson.mean_wait_s
+        );
+    }
+
+    #[test]
+    fn relabelling_phases_is_invariant() {
+        let service = ServiceDistribution::gaussian(0.003, 3e-4);
+        let a = MmppG1::new(Mmpp2::new(200.0, 6.0, 2000.0, 30.0), service.clone())
+            .solve()
+            .unwrap();
+        let b = MmppG1::new(Mmpp2::new(6.0, 200.0, 30.0, 2000.0), service)
+            .solve()
+            .unwrap();
+        assert_rel(a.mean_wait_s, b.mean_wait_s, 1e-9, "phase relabelling");
+        assert_rel(a.rho, b.rho, 1e-12, "rho relabelling");
+    }
+
+    #[test]
+    fn unstable_queue_is_reported() {
+        let queue = MmppG1::new(Mmpp2::poisson(1000.0), ServiceDistribution::point(0.002));
+        match queue.solve() {
+            Err(SolveError::Unstable { rho }) => assert!(rho >= 1.0),
+            other => panic!("expected Unstable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sojourn_is_wait_plus_service() {
+        let queue = MmppG1::new(
+            Mmpp2::new(100.0, 10.0, 500.0, 50.0),
+            ServiceDistribution::gaussian(0.002, 2e-4),
+        );
+        let sol = queue.solve().unwrap();
+        assert_rel(
+            sol.mean_sojourn_s,
+            sol.mean_wait_s + sol.h1,
+            1e-12,
+            "sojourn identity",
+        );
+        assert!(sol.mean_wait_s > 0.0);
+        assert!(sol.rho < 1.0);
+    }
+
+    #[test]
+    fn heavier_service_increases_wait_monotonically() {
+        let mmpp = Mmpp2::new(100.0, 10.0, 500.0, 50.0);
+        let mut last = 0.0;
+        for mean in [0.001, 0.002, 0.003, 0.004] {
+            let sol = MmppG1::new(mmpp, ServiceDistribution::gaussian(mean, mean / 10.0))
+                .solve()
+                .unwrap();
+            assert!(sol.mean_wait_s > last, "wait must increase with service");
+            last = sol.mean_wait_s;
+        }
+    }
+}

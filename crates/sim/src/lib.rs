@@ -1,0 +1,32 @@
+//! # thrifty-sim
+//!
+//! The experiment testbed — everything the paper measured on real phones,
+//! reproduced as a simulation (the "Experiment" bars of Figures 4–15):
+//!
+//! * [`stats`] — sample means with the paper's 95% confidence intervals
+//!   (each experiment is repeated and averaged, Section 6.1).
+//! * [`sender`] — the sender pipeline of Figure 3 as a packet-level
+//!   simulation: stream-structured arrivals (I-fragment bursts, paced P
+//!   packets), per-packet encryption/backoff/transmission service, FIFO
+//!   queue, channel delivery, and the eavesdropper's capture.
+//! * [`experiment`] — full experiment harness: a (motion, GOP, device,
+//!   policy, transport) configuration run over multiple trials, producing
+//!   delay, PSNR, MOS and power rows directly comparable to the analytic
+//!   predictions.
+//! * [`pipeline`] — a *real-bytes* threaded testbed mirroring the Android
+//!   app's producer/consumer design (GPAC-style reader thread, encryptor,
+//!   RTP packetisation, channel, receiver + eavesdropper reconstruction)
+//!   using the actual ciphers and NAL bitstreams, built on crossbeam
+//!   channels and parking_lot locks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod pipeline;
+pub mod sender;
+pub mod stats;
+
+pub use experiment::{Experiment, ExperimentConfig, ExperimentResult, Transport};
+pub use sender::{PacketRecord, SenderSim, SenderSummary};
+pub use stats::Summary;

@@ -1,0 +1,494 @@
+//! Real-bytes threaded testbed — the Android app of Section 5 in miniature.
+//!
+//! Mirrors Figure 3's block diagram with actual data: a **producer** thread
+//! reads coded frames (real Annex-B NAL units) into a bounded queue; a
+//! **consumer/encryptor** thread pops each frame, fragments it to MTU-sized
+//! segments, encrypts the segments selected by the policy with the real
+//! cipher (OFB per segment, exactly like the paper's GPAC-based app), sets
+//! the RTP **marker bit** on encrypted packets, and transmits over a lossy
+//! channel; a **receiver** thread decrypts marked packets and reassembles
+//! frames; an **eavesdropper** thread gets a copy of every packet but must
+//! treat marked ones as erasures.
+//!
+//! Fragments are carried behind a small fragmentation header (frame index,
+//! fragment number, fragment count) playing the role of H.264 FU-A
+//! fragmentation units.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use thrifty_analytic::policy::Policy;
+use thrifty_crypto::SegmentCipher;
+use thrifty_net::wire::{RtpHeader, RtpPacket};
+use thrifty_video::bitstream::{PictureParameterSet, SequenceParameterSet};
+use thrifty_video::nal::{parse_annex_b, write_annex_b, NalUnit, NalUnitType};
+use thrifty_video::FrameType;
+
+/// Configuration of a pipeline run.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// The selection policy (cipher + packet rule).
+    pub policy: Policy,
+    /// Maximum RTP payload per fragment (after the fragmentation header).
+    pub mtu_payload: usize,
+    /// Independent per-packet loss probability on the air.
+    pub loss_prob: f64,
+    /// RNG seed for policy draws and losses.
+    pub seed: u64,
+    /// Bounded queue depth between producer and encryptor (Figure 3's
+    /// in-memory queue).
+    pub queue_depth: usize,
+    /// Reordering window on the air: packets are released from a shuffle
+    /// buffer of this size (0 = strictly in order). Real WLANs reorder
+    /// across MAC retransmissions; reassembly must not depend on order.
+    pub reorder_window: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            policy: Policy::new(
+                thrifty_crypto::Algorithm::Aes256,
+                thrifty_analytic::policy::EncryptionMode::IFrames,
+            ),
+            mtu_payload: 1452,
+            loss_prob: 0.0,
+            seed: 1,
+            queue_depth: 8,
+            reorder_window: 0,
+        }
+    }
+}
+
+/// One coded frame fed to the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputFrame {
+    /// Absolute frame number.
+    pub index: usize,
+    /// Frame class (decides the policy's selection rule).
+    pub ftype: FrameType,
+    /// The frame's NAL unit (payload carries the coded bits).
+    pub nal: NalUnit,
+}
+
+impl InputFrame {
+    /// Build a synthetic coded frame of `bytes` payload bytes.
+    pub fn synthetic(index: usize, ftype: FrameType, bytes: usize) -> Self {
+        InputFrame {
+            index,
+            ftype,
+            nal: NalUnit::synthetic_slice(index, ftype == FrameType::I, bytes),
+        }
+    }
+}
+
+/// What one observer reconstructed.
+#[derive(Debug, Clone, Default)]
+pub struct Reconstruction {
+    /// Frames fully and correctly reassembled (payload byte-identical).
+    pub frames_ok: Vec<usize>,
+    /// Frames with at least one fragment missing or unusable.
+    pub frames_damaged: Vec<usize>,
+}
+
+/// Outcome of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// Packets put on the air.
+    pub packets_sent: usize,
+    /// Packets flagged encrypted (marker bit set).
+    pub packets_encrypted: usize,
+    /// The legitimate receiver's reconstruction.
+    pub receiver: Reconstruction,
+    /// The eavesdropper's reconstruction.
+    pub eavesdropper: Reconstruction,
+    /// The SPS the receiver parsed from the lead-in parameter sets, if the
+    /// packets carrying it survived the channel.
+    pub receiver_sps: Option<SequenceParameterSet>,
+    /// The PPS the receiver parsed, likewise.
+    pub receiver_pps: Option<PictureParameterSet>,
+}
+
+const FRAG_HEADER_LEN: usize = 8;
+
+/// Reserved fragment-header frame index carrying the SPS lead-in.
+const SPS_FRAME: u32 = u32::MAX;
+/// Reserved fragment-header frame index carrying the PPS lead-in.
+const PPS_FRAME: u32 = u32::MAX - 1;
+
+fn frag_header(frame: u32, frag: u16, total: u16) -> [u8; FRAG_HEADER_LEN] {
+    let mut h = [0u8; FRAG_HEADER_LEN];
+    h[0..4].copy_from_slice(&frame.to_be_bytes());
+    h[4..6].copy_from_slice(&frag.to_be_bytes());
+    h[6..8].copy_from_slice(&total.to_be_bytes());
+    h
+}
+
+/// Run the full pipeline over `frames` with real encryption and framing.
+///
+/// The shared symmetric key models the pre-established secret of the threat
+/// model (Section 3): the receiver has it, the eavesdropper does not.
+pub fn run_pipeline(frames: Vec<InputFrame>, config: PipelineConfig) -> PipelineOutcome {
+    let key = [0x42u8; 32];
+    let cipher = SegmentCipher::new(config.policy.algorithm, &key)
+        .expect("32-byte key fits every algorithm");
+    let originals: BTreeMap<usize, Vec<u8>> = frames
+        .iter()
+        .map(|f| (f.index, f.nal.payload.clone()))
+        .collect();
+
+    // Producer → encryptor: the bounded in-memory queue of Figure 3.
+    let (frame_tx, frame_rx) = channel::bounded::<InputFrame>(config.queue_depth);
+    // Encryptor → air: every packet is seen by both observers (broadcast).
+    let (air_tx, air_rx) = channel::unbounded::<Vec<u8>>();
+
+    let producer = std::thread::spawn(move || {
+        for f in frames {
+            if frame_tx.send(f).is_err() {
+                break;
+            }
+        }
+    });
+
+    let policy = config.policy;
+    let enc_cipher = cipher.clone();
+    let encryptor = std::thread::spawn(move || {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut seq: u16 = 0;
+        let mut sent = 0usize;
+        let mut encrypted = 0usize;
+        // Lead-in: SPS and PPS as real parameter-set NAL units, in the clear
+        // (parameter sets must be readable before any key material applies).
+        for (reserved, unit) in [
+            (
+                SPS_FRAME,
+                NalUnit::new(3, NalUnitType::Sps, SequenceParameterSet::cif().to_rbsp()),
+            ),
+            (
+                PPS_FRAME,
+                NalUnit::new(
+                    3,
+                    NalUnitType::Pps,
+                    PictureParameterSet::default_for(0).to_rbsp(),
+                ),
+            ),
+        ] {
+            let annex_b = write_annex_b(std::slice::from_ref(&unit));
+            let mut payload = Vec::with_capacity(FRAG_HEADER_LEN + annex_b.len());
+            payload.extend_from_slice(&frag_header(reserved, 0, 1));
+            payload.extend_from_slice(&annex_b);
+            let rtp = RtpHeader {
+                marker: false,
+                payload_type: 96,
+                sequence: seq,
+                timestamp: 0,
+                ssrc: 0x7E57,
+            }
+            .emit(&payload);
+            if air_tx.send(rtp).is_err() {
+                return (sent, encrypted);
+            }
+            sent += 1;
+            seq = seq.wrapping_add(1);
+        }
+        while let Ok(frame) = frame_rx.recv() {
+            // Serialise the frame as a real Annex-B stream, then fragment.
+            let annex_b = write_annex_b(std::slice::from_ref(&frame.nal));
+            let chunks: Vec<&[u8]> = annex_b.chunks(config.mtu_payload).collect();
+            let total = chunks.len() as u16;
+            let unit: f64 = rng.gen_range(0.0..1.0);
+            let encrypt_frame = policy.mode.should_encrypt(frame.ftype, unit);
+            for (i, chunk) in chunks.iter().enumerate() {
+                let mut payload = Vec::with_capacity(FRAG_HEADER_LEN + chunk.len());
+                payload.extend_from_slice(&frag_header(frame.index as u32, i as u16, total));
+                payload.extend_from_slice(chunk);
+                if encrypt_frame {
+                    // OFB per segment, keyed by the global sequence number —
+                    // the receiver recovers the IV from the RTP header.
+                    let body = &mut payload[FRAG_HEADER_LEN..];
+                    enc_cipher.encrypt_segment(seq as u64, body);
+                    encrypted += 1;
+                }
+                let rtp = RtpHeader {
+                    marker: encrypt_frame,
+                    payload_type: 96,
+                    sequence: seq,
+                    timestamp: frame.index as u32 * 3000,
+                    ssrc: 0x7E57,
+                }
+                .emit(&payload);
+                if air_tx.send(rtp).is_err() {
+                    return (sent, encrypted);
+                }
+                sent += 1;
+                seq = seq.wrapping_add(1);
+            }
+        }
+        (sent, encrypted)
+    });
+
+    // The air: apply loss once per packet, then copy to both observers.
+    let (rx_tx, rx_rx) = channel::unbounded::<Vec<u8>>();
+    let (eve_tx, eve_rx) = channel::unbounded::<Vec<u8>>();
+    let loss_prob = config.loss_prob;
+    let loss_seed = config.seed ^ 0xA1B2;
+    let reorder_window = config.reorder_window;
+    let air = std::thread::spawn(move || {
+        let mut rng = StdRng::seed_from_u64(loss_seed);
+        let mut shuffle: Vec<Vec<u8>> = Vec::with_capacity(reorder_window + 1);
+        let deliver = |pkt: Vec<u8>| {
+            let _ = rx_tx.send(pkt.clone());
+            let _ = eve_tx.send(pkt);
+        };
+        while let Ok(pkt) = air_rx.recv() {
+            if loss_prob > 0.0 && rng.gen_bool(loss_prob) {
+                continue; // lost on the air: nobody hears it
+            }
+            if reorder_window == 0 {
+                deliver(pkt);
+            } else {
+                shuffle.push(pkt);
+                if shuffle.len() > reorder_window {
+                    let idx = rng.gen_range(0..shuffle.len());
+                    deliver(shuffle.swap_remove(idx));
+                }
+            }
+        }
+        while !shuffle.is_empty() {
+            let idx = rng.gen_range(0..shuffle.len());
+            deliver(shuffle.swap_remove(idx));
+        }
+    });
+
+    // Observer threads: reassemble frames from fragments.
+    /// Per-frame fragment store: frame index → fragment number → bytes.
+    type FragmentStore = Arc<Mutex<BTreeMap<usize, BTreeMap<u16, Vec<u8>>>>>;
+    fn observe(
+        rx: channel::Receiver<Vec<u8>>,
+        cipher: Option<SegmentCipher>,
+        out: FragmentStore,
+        totals: Arc<Mutex<BTreeMap<usize, u16>>>,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            while let Ok(wire) = rx.recv() {
+                let Ok(pkt) = RtpPacket::parse(wire.as_slice()) else {
+                    continue;
+                };
+                let header = pkt.header();
+                let mut payload = pkt.payload().to_vec();
+                if header.marker {
+                    match &cipher {
+                        Some(c) => {
+                            c.decrypt_segment(header.sequence as u64, &mut payload[FRAG_HEADER_LEN..])
+                        }
+                        None => continue, // eavesdropper: erasure
+                    }
+                }
+                if payload.len() < FRAG_HEADER_LEN {
+                    continue;
+                }
+                let frame = u32::from_be_bytes(payload[0..4].try_into().unwrap()) as usize;
+                let frag = u16::from_be_bytes(payload[4..6].try_into().unwrap());
+                let total = u16::from_be_bytes(payload[6..8].try_into().unwrap());
+                totals.lock().insert(frame, total);
+                out.lock()
+                    .entry(frame)
+                    .or_default()
+                    .insert(frag, payload[FRAG_HEADER_LEN..].to_vec());
+            }
+        })
+    }
+
+    let rx_frames = Arc::new(Mutex::new(BTreeMap::new()));
+    let rx_totals = Arc::new(Mutex::new(BTreeMap::new()));
+    let eve_frames = Arc::new(Mutex::new(BTreeMap::new()));
+    let eve_totals = Arc::new(Mutex::new(BTreeMap::new()));
+    let rx_thread = observe(rx_rx, Some(cipher), rx_frames.clone(), rx_totals.clone());
+    let eve_thread = observe(eve_rx, None, eve_frames.clone(), eve_totals.clone());
+
+    producer.join().expect("producer thread panicked");
+    let (packets_sent, packets_encrypted) = encryptor.join().expect("encryptor panicked");
+    air.join().expect("air thread panicked");
+    rx_thread.join().expect("receiver panicked");
+    eve_thread.join().expect("eavesdropper panicked");
+
+    let reconstruct = |store: &BTreeMap<usize, BTreeMap<u16, Vec<u8>>>,
+                       totals: &BTreeMap<usize, u16>|
+     -> Reconstruction {
+        let mut rec = Reconstruction::default();
+        for (&frame, original) in &originals {
+            let complete = totals.get(&frame).is_some_and(|&total| {
+                store
+                    .get(&frame)
+                    .is_some_and(|frags| frags.len() == total as usize)
+            });
+            if !complete {
+                rec.frames_damaged.push(frame);
+                continue;
+            }
+            let mut annex_b = Vec::new();
+            for chunk in store[&frame].values() {
+                annex_b.extend_from_slice(chunk);
+            }
+            match parse_annex_b(&annex_b) {
+                Ok(units) if units.len() == 1 && &units[0].payload == original => {
+                    rec.frames_ok.push(frame)
+                }
+                _ => rec.frames_damaged.push(frame),
+            }
+        }
+        rec
+    };
+
+    let parse_param = |store: &BTreeMap<usize, BTreeMap<u16, Vec<u8>>>,
+                       reserved: u32|
+     -> Option<NalUnit> {
+        let frags = store.get(&(reserved as usize))?;
+        let mut annex_b = Vec::new();
+        for chunk in frags.values() {
+            annex_b.extend_from_slice(chunk);
+        }
+        parse_annex_b(&annex_b).ok()?.into_iter().next()
+    };
+    let (receiver, receiver_sps, receiver_pps) = {
+        let frames = rx_frames.lock();
+        let totals = rx_totals.lock();
+        let sps = parse_param(&frames, SPS_FRAME)
+            .filter(|u| u.unit_type == NalUnitType::Sps)
+            .and_then(|u| SequenceParameterSet::from_rbsp(&u.payload).ok());
+        let pps = parse_param(&frames, PPS_FRAME)
+            .filter(|u| u.unit_type == NalUnitType::Pps)
+            .and_then(|u| PictureParameterSet::from_rbsp(&u.payload).ok());
+        (reconstruct(&frames, &totals), sps, pps)
+    };
+    let eavesdropper = {
+        let frames = eve_frames.lock();
+        let totals = eve_totals.lock();
+        reconstruct(&frames, &totals)
+    };
+    PipelineOutcome {
+        packets_sent,
+        packets_encrypted,
+        receiver,
+        eavesdropper,
+        receiver_sps,
+        receiver_pps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thrifty_analytic::policy::EncryptionMode;
+    use thrifty_crypto::Algorithm;
+
+    fn frames(n: usize, gop: usize) -> Vec<InputFrame> {
+        (0..n)
+            .map(|i| {
+                let ftype = if i % gop == 0 {
+                    FrameType::I
+                } else {
+                    FrameType::P
+                };
+                let bytes = if ftype == FrameType::I { 15000 } else { 900 };
+                InputFrame::synthetic(i, ftype, bytes)
+            })
+            .collect()
+    }
+
+    fn config(mode: EncryptionMode, loss: f64) -> PipelineConfig {
+        PipelineConfig {
+            policy: Policy::new(Algorithm::Aes256, mode),
+            loss_prob: loss,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn lossless_receiver_recovers_everything() {
+        for mode in [
+            EncryptionMode::None,
+            EncryptionMode::IFrames,
+            EncryptionMode::All,
+        ] {
+            let out = run_pipeline(frames(30, 10), config(mode, 0.0));
+            assert_eq!(out.receiver.frames_ok.len(), 30, "{mode}");
+            assert!(out.receiver.frames_damaged.is_empty(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn eavesdropper_loses_exactly_the_encrypted_frames() {
+        let out = run_pipeline(frames(30, 10), config(EncryptionMode::IFrames, 0.0));
+        // I frames at 0, 10, 20 are dark; everything else readable.
+        assert_eq!(out.eavesdropper.frames_damaged, vec![0, 10, 20]);
+        assert_eq!(out.eavesdropper.frames_ok.len(), 27);
+    }
+
+    #[test]
+    fn all_encrypted_means_eavesdropper_gets_nothing() {
+        let out = run_pipeline(frames(12, 6), config(EncryptionMode::All, 0.0));
+        assert!(out.eavesdropper.frames_ok.is_empty());
+        assert_eq!(out.receiver.frames_ok.len(), 12);
+        // Everything but the two clear parameter-set packets is encrypted.
+        assert_eq!(out.packets_encrypted, out.packets_sent - 2);
+    }
+
+    #[test]
+    fn receiver_parses_parameter_sets() {
+        let out = run_pipeline(frames(6, 3), config(EncryptionMode::All, 0.0));
+        let sps = out.receiver_sps.expect("SPS lead-in must arrive losslessly");
+        assert_eq!(sps.width(), 352);
+        assert_eq!(sps.height(), 288);
+        let pps = out.receiver_pps.expect("PPS lead-in must arrive losslessly");
+        assert_eq!(pps.sps_id, sps.sps_id);
+    }
+
+    #[test]
+    fn marker_bit_counts_match_policy() {
+        let out = run_pipeline(frames(30, 10), config(EncryptionMode::PFrames, 0.0));
+        // P frames are 900 B → single fragment each; 27 of them.
+        assert_eq!(out.packets_encrypted, 27);
+        assert_eq!(out.eavesdropper.frames_damaged.len(), 27);
+    }
+
+    #[test]
+    fn channel_loss_hurts_both_observers() {
+        let out = run_pipeline(frames(60, 10), config(EncryptionMode::None, 0.3));
+        assert!(out.receiver.frames_ok.len() < 60);
+        // With no encryption both observers see the identical packet set.
+        assert_eq!(out.receiver.frames_ok, out.eavesdropper.frames_ok);
+    }
+
+    #[test]
+    fn reordered_air_does_not_break_reassembly() {
+        // The fragmentation header, not arrival order, drives reassembly —
+        // a shuffled channel must still reconstruct everything.
+        let out = run_pipeline(
+            frames(30, 10),
+            PipelineConfig {
+                reorder_window: 16,
+                ..config(EncryptionMode::IFrames, 0.0)
+            },
+        );
+        assert_eq!(out.receiver.frames_ok.len(), 30);
+        assert_eq!(out.eavesdropper.frames_damaged, vec![0, 10, 20]);
+        assert!(out.receiver_sps.is_some());
+    }
+
+    #[test]
+    fn tdes_pipeline_roundtrips_too() {
+        let out = run_pipeline(
+            frames(10, 5),
+            PipelineConfig {
+                policy: Policy::new(Algorithm::TripleDes, EncryptionMode::All),
+                ..PipelineConfig::default()
+            },
+        );
+        assert_eq!(out.receiver.frames_ok.len(), 10);
+        assert!(out.eavesdropper.frames_ok.is_empty());
+    }
+}

@@ -1,0 +1,450 @@
+//! Packet-level simulation of the sender pipeline (Figure 3).
+//!
+//! Unlike the analytic side — which *models* arrivals as a 2-MMPP — the
+//! simulation replays the actual structure of the coded stream: for every
+//! GOP the producer thread reads the I-frame and enqueues its fragment
+//! train at the disk-burst rate, then paces the P packets out at the read
+//! rate. Service is sampled per packet: encryption (if the policy selects
+//! the packet), DCF backoff, airtime. The queue is FIFO and work-conserving
+//! (Lindley recursion). Every transmitted packet then crosses the loss
+//! channel once for the receiver and is simultaneously overheard by the
+//! eavesdropper's capture.
+
+use rand::Rng;
+use thrifty_analytic::params::ScenarioParams;
+use thrifty_analytic::policy::Policy;
+use thrifty_net::capture::{CapturedPacket, PacketCapture};
+use thrifty_video::encoder::EncodedStream;
+use thrifty_video::packet::{Packetizer, VideoPacket};
+use thrifty_video::FrameType;
+
+/// Everything that happened to one packet on its way out.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketRecord {
+    /// Wire sequence number.
+    pub seq: usize,
+    /// Frame the packet belongs to.
+    pub frame_index: usize,
+    /// Frame class.
+    pub ftype: FrameType,
+    /// Payload bytes.
+    pub bytes: usize,
+    /// Whether the policy selected it for encryption.
+    pub encrypted: bool,
+    /// Arrival time into the sender queue, seconds.
+    pub arrival_s: f64,
+    /// Time spent waiting in the queue, seconds.
+    pub wait_s: f64,
+    /// Service time (encryption + backoff + airtime), seconds.
+    pub service_s: f64,
+    /// Whether the channel delivered it (after MAC retries).
+    pub delivered: bool,
+}
+
+impl PacketRecord {
+    /// Total per-packet delay (queueing + service) — the paper's metric.
+    pub fn delay_s(&self) -> f64 {
+        self.wait_s + self.service_s
+    }
+}
+
+/// Aggregate outcome of one sender run.
+#[derive(Debug, Clone)]
+pub struct SenderSummary {
+    /// Per-packet records in transmission order.
+    pub records: Vec<PacketRecord>,
+    /// The eavesdropper's capture of the same transmissions.
+    pub capture: PacketCapture,
+    /// Mean per-packet delay, seconds.
+    pub mean_delay_s: f64,
+    /// Mean per-packet encryption time, seconds.
+    pub mean_encryption_s: f64,
+    /// Total simulated duration, seconds.
+    pub duration_s: f64,
+}
+
+impl SenderSummary {
+    /// Per-frame delivery flags for the **receiver**: a frame is decodable
+    /// iff its first packet arrived and at least `s` of the remaining did
+    /// (eq. 20's criterion, applied to the realised loss pattern).
+    pub fn receiver_frame_flags(&self, n_frames: usize, sensitivity_frac: f64) -> Vec<bool> {
+        self.frame_flags(n_frames, sensitivity_frac, false)
+    }
+
+    /// Per-frame delivery flags for the **eavesdropper**: encrypted packets
+    /// count as erasures on top of channel losses.
+    pub fn eavesdropper_frame_flags(&self, n_frames: usize, sensitivity_frac: f64) -> Vec<bool> {
+        self.frame_flags(n_frames, sensitivity_frac, true)
+    }
+
+    fn frame_flags(&self, n_frames: usize, sensitivity_frac: f64, strip_encrypted: bool) -> Vec<bool> {
+        #[derive(Default, Clone)]
+        struct FrameAcc {
+            first_ok: bool,
+            rest_ok: usize,
+            rest_total: usize,
+        }
+        // The packetizer emits fragments in order, so the first record seen
+        // for a frame is its fragment 0 (which carries the slice header).
+        let mut first_seen = vec![false; n_frames];
+        let mut acc = vec![FrameAcc::default(); n_frames];
+        for r in &self.records {
+            if r.frame_index >= n_frames {
+                continue;
+            }
+            let usable = r.delivered && !(strip_encrypted && r.encrypted);
+            let a = &mut acc[r.frame_index];
+            if !first_seen[r.frame_index] {
+                first_seen[r.frame_index] = true;
+                a.first_ok = usable;
+            } else {
+                a.rest_total += 1;
+                if usable {
+                    a.rest_ok += 1;
+                }
+            }
+        }
+        acc.iter()
+            .zip(first_seen.iter())
+            .map(|(a, &seen)| {
+                if !seen || !a.first_ok {
+                    return false;
+                }
+                let s = (sensitivity_frac * a.rest_total as f64).ceil() as usize;
+                a.rest_ok >= s
+            })
+            .collect()
+    }
+}
+
+/// The sender simulation for one (scenario, policy) pair.
+#[derive(Debug, Clone)]
+pub struct SenderSim<'a> {
+    params: &'a ScenarioParams,
+    policy: Policy,
+    /// Backpressure bound: when `Some(b)`, the producer blocks once the
+    /// queue holds more than `b` seconds of unfinished work — the bounded
+    /// in-memory queue of the paper's Figure 3, where the producer thread
+    /// cannot outrun the consumer indefinitely. `None` models an open-loop
+    /// producer (the 2-MMPP assumption).
+    backlog_bound_s: Option<f64>,
+}
+
+impl<'a> SenderSim<'a> {
+    /// Bind a calibrated scenario and a policy (open-loop producer).
+    pub fn new(params: &'a ScenarioParams, policy: Policy) -> Self {
+        SenderSim {
+            params,
+            policy,
+            backlog_bound_s: None,
+        }
+    }
+
+    /// Switch to a closed-loop producer with the given backlog bound.
+    pub fn with_backlog_bound(mut self, bound_s: f64) -> Self {
+        assert!(bound_s > 0.0, "backlog bound must be positive");
+        self.backlog_bound_s = Some(bound_s);
+        self
+    }
+
+    /// Run the pipeline over a coded stream.
+    pub fn run<R: Rng + ?Sized>(&self, stream: &EncodedStream, rng: &mut R) -> SenderSummary {
+        let packets = Packetizer::default().packetize(stream);
+        let arrivals = self.arrival_times(&packets, stream, rng);
+        let delivery = self.params.delivery_rate();
+        let cost = self.params.cost_model(self.policy.algorithm);
+        let jitter = self.params.jitter_rel;
+        let p_s = self.params.dcf.packet_success_rate;
+        let backoff_rate = self.params.dcf.backoff_rate_hz;
+
+        let mut records = Vec::with_capacity(packets.len());
+        let mut capture = PacketCapture::new();
+        let mut queue_clear_at = 0.0f64; // when the server frees up
+        let mut sum_delay = 0.0;
+        let mut sum_enc = 0.0;
+        for (pkt, &nominal_arrival) in packets.iter().zip(arrivals.iter()) {
+            // Closed-loop producer: an enqueue cannot happen while the queue
+            // already holds more than the bound's worth of unfinished work
+            // (both terms are nondecreasing, so arrivals stay ordered).
+            let arrival = match self.backlog_bound_s {
+                Some(bound) => nominal_arrival.max(queue_clear_at - bound),
+                None => nominal_arrival,
+            };
+            let unit: f64 = rng.gen_range(0.0..1.0);
+            let encrypted = self.policy.mode.should_encrypt(pkt.ftype, unit);
+            let enc_time = if encrypted {
+                gaussian(rng, cost.mean_time(pkt.bytes), jitter * cost.mean_time(pkt.bytes))
+            } else {
+                0.0
+            };
+            let mut backoff = 0.0;
+            while !rng.gen_bool(p_s) {
+                backoff += exponential(rng, backoff_rate);
+            }
+            let tx_mean = self.params.phy.tx_time_s(pkt.bytes + 40);
+            let tx = gaussian(rng, tx_mean, jitter * tx_mean);
+            let service = enc_time + backoff + tx;
+
+            let start = queue_clear_at.max(arrival);
+            let wait = start - arrival;
+            queue_clear_at = start + service;
+            let delivered = rng.gen_bool(delivery);
+
+            sum_delay += wait + service;
+            sum_enc += enc_time;
+            capture.record(CapturedPacket {
+                seq: pkt.seq,
+                frame_index: pkt.frame_index,
+                bytes: pkt.bytes,
+                encrypted,
+                time_s: queue_clear_at,
+            });
+            records.push(PacketRecord {
+                seq: pkt.seq,
+                frame_index: pkt.frame_index,
+                ftype: pkt.ftype,
+                bytes: pkt.bytes,
+                encrypted,
+                arrival_s: arrival,
+                wait_s: wait,
+                service_s: service,
+                delivered,
+            });
+        }
+        let n = records.len().max(1) as f64;
+        SenderSummary {
+            mean_delay_s: sum_delay / n,
+            mean_encryption_s: sum_enc / n,
+            duration_s: queue_clear_at,
+            records,
+            capture,
+        }
+    }
+
+    /// Stream-structured arrival times: per GOP, an I-fragment burst at the
+    /// disk rate followed by P packets paced at the read rate — the process
+    /// the 2-MMPP of Section 4.2.1 models.
+    fn arrival_times<R: Rng + ?Sized>(
+        &self,
+        packets: &[VideoPacket],
+        stream: &EncodedStream,
+        rng: &mut R,
+    ) -> Vec<f64> {
+        let mmpp = &self.params.mmpp;
+        // The calibrated read speedup is implied by the MMPP's mean rate
+        // relative to the stream's natural (real-time) packet rate; the
+        // producer's GOP slot shrinks by the same factor.
+        let natural_rate = packets.len() as f64 / stream.duration_s();
+        let speedup = mmpp.mean_rate() / natural_rate;
+        let gop_period = stream.gop_size as f64 / stream.fps / speedup;
+        let mut t = 0.0f64;
+        let mut last_gop = usize::MAX;
+        let mut times = Vec::with_capacity(packets.len());
+        for pkt in packets {
+            let gop = pkt.frame_index / stream.gop_size;
+            if gop != last_gop {
+                // Producer starts reading this GOP no earlier than its slot.
+                t = t.max(gop as f64 * gop_period);
+                last_gop = gop;
+            }
+            let rate = match pkt.ftype {
+                FrameType::I => mmpp.lambda1,
+                FrameType::P => mmpp.lambda2,
+            };
+            t += exponential(rng, rate);
+            times.push(t);
+        }
+        times
+    }
+}
+
+fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    if std <= 0.0 {
+        return mean.max(0.0);
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (mean + std * z).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use thrifty_analytic::params::SAMSUNG_GALAXY_S2;
+    use thrifty_analytic::policy::EncryptionMode;
+    use thrifty_crypto::Algorithm;
+    use thrifty_video::encoder::StatisticalEncoder;
+    use thrifty_video::motion::MotionLevel;
+
+    fn setup(mode: EncryptionMode) -> (ScenarioParams, EncodedStream, Policy) {
+        let params = ScenarioParams::calibrated(MotionLevel::High, 30, SAMSUNG_GALAXY_S2, 5, 0.9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let stream = StatisticalEncoder::new(MotionLevel::High, 30).encode(300, &mut rng);
+        (params, stream, Policy::new(Algorithm::Aes256, mode))
+    }
+
+    #[test]
+    fn run_covers_all_packets_in_order() {
+        let (params, stream, policy) = setup(EncryptionMode::IFrames);
+        let mut rng = StdRng::seed_from_u64(4);
+        let summary = SenderSim::new(&params, policy).run(&stream, &mut rng);
+        let n_expected = Packetizer::default().packetize(&stream).len();
+        assert_eq!(summary.records.len(), n_expected);
+        assert_eq!(summary.capture.len(), n_expected);
+        for w in summary.records.windows(2) {
+            assert!(w[1].arrival_s >= w[0].arrival_s, "arrivals ordered");
+        }
+        assert!(summary.duration_s > 0.0);
+    }
+
+    #[test]
+    fn policy_selects_the_right_packets() {
+        let (params, stream, policy) = setup(EncryptionMode::IFrames);
+        let mut rng = StdRng::seed_from_u64(5);
+        let summary = SenderSim::new(&params, policy).run(&stream, &mut rng);
+        for r in &summary.records {
+            match r.ftype {
+                FrameType::I => assert!(r.encrypted),
+                FrameType::P => assert!(!r.encrypted),
+            }
+        }
+        // Encrypted fraction matches the analytic q.
+        let q = summary.capture.encrypted_fraction();
+        let expected = policy.mode.encrypted_fraction(params.packet_stats.p_i);
+        assert!((q - expected).abs() < 0.02, "q {q} vs {expected}");
+    }
+
+    #[test]
+    fn fractional_policy_hits_alpha() {
+        let (params, stream, policy) = setup(EncryptionMode::IPlusFractionP(0.2));
+        let mut rng = StdRng::seed_from_u64(6);
+        let summary = SenderSim::new(&params, policy).run(&stream, &mut rng);
+        let p_encrypted = summary
+            .records
+            .iter()
+            .filter(|r| r.ftype == FrameType::P && r.encrypted)
+            .count();
+        let p_total = summary
+            .records
+            .iter()
+            .filter(|r| r.ftype == FrameType::P)
+            .count();
+        let alpha = p_encrypted as f64 / p_total as f64;
+        assert!((alpha - 0.2).abs() < 0.03, "alpha {alpha}");
+    }
+
+    #[test]
+    fn encryption_increases_delay() {
+        let (params, stream, _) = setup(EncryptionMode::None);
+        let mut rng = StdRng::seed_from_u64(7);
+        let none = SenderSim::new(&params, Policy::new(Algorithm::TripleDes, EncryptionMode::None))
+            .run(&stream, &mut rng)
+            .mean_delay_s;
+        let all = SenderSim::new(&params, Policy::new(Algorithm::TripleDes, EncryptionMode::All))
+            .run(&stream, &mut rng)
+            .mean_delay_s;
+        assert!(all > 1.5 * none, "all {all} vs none {none}");
+    }
+
+    #[test]
+    fn receiver_decodes_more_frames_than_eavesdropper() {
+        let (params, stream, policy) = setup(EncryptionMode::IFrames);
+        let mut rng = StdRng::seed_from_u64(8);
+        let summary = SenderSim::new(&params, policy).run(&stream, &mut rng);
+        let sens = params.motion.sensitivity_fraction();
+        let rx = summary.receiver_frame_flags(300, sens);
+        let eve = summary.eavesdropper_frame_flags(300, sens);
+        let rx_ok = rx.iter().filter(|&&b| b).count();
+        let eve_ok = eve.iter().filter(|&&b| b).count();
+        assert!(rx_ok > eve_ok, "rx {rx_ok} vs eve {eve_ok}");
+        // Under the I policy, no I-frame is decodable by the eavesdropper.
+        for (f, ok) in eve.iter().enumerate() {
+            if f % 30 == 0 {
+                assert!(!ok, "I frame {f} must be dark for the eavesdropper");
+            }
+        }
+    }
+
+    #[test]
+    fn delivery_rate_is_respected() {
+        let (params, stream, policy) = setup(EncryptionMode::None);
+        let mut rng = StdRng::seed_from_u64(9);
+        let summary = SenderSim::new(&params, policy).run(&stream, &mut rng);
+        let delivered = summary.records.iter().filter(|r| r.delivered).count();
+        let rate = delivered as f64 / summary.records.len() as f64;
+        assert!(
+            (rate - params.delivery_rate()).abs() < 0.02,
+            "delivery {rate} vs {}",
+            params.delivery_rate()
+        );
+    }
+
+    #[test]
+    fn closed_loop_producer_bounds_waiting() {
+        let (params, stream, policy) = setup(EncryptionMode::All);
+        let mut rng = StdRng::seed_from_u64(21);
+        let bound = 2e-3;
+        let summary = SenderSim::new(&params, policy)
+            .with_backlog_bound(bound)
+            .run(&stream, &mut rng);
+        for r in &summary.records {
+            assert!(
+                r.wait_s <= bound + 1e-9,
+                "wait {} exceeds backlog bound {bound}",
+                r.wait_s
+            );
+        }
+    }
+
+    #[test]
+    fn closed_loop_restores_slow_motion_p_above_i() {
+        // Open loop: encrypting the hot I-burst inflates I-policy delay
+        // (EXPERIMENTS.md deviation 1). With the bounded Figure 3 queue the
+        // burst backlog is capped, and the paper's experimental ordering
+        // delay(P) > delay(I) reappears for slow motion.
+        let params = ScenarioParams::calibrated(MotionLevel::Low, 30, SAMSUNG_GALAXY_S2, 5, 0.9);
+        let mut rng = StdRng::seed_from_u64(22);
+        let stream = StatisticalEncoder::new(MotionLevel::Low, 30).encode(300, &mut rng);
+        let mean = |mode, rng: &mut StdRng| {
+            let sim = SenderSim::new(&params, Policy::new(Algorithm::Aes256, mode))
+                .with_backlog_bound(0.5e-3);
+            let mut acc = 0.0;
+            for _ in 0..6 {
+                acc += sim.run(&stream, rng).mean_delay_s;
+            }
+            acc / 6.0
+        };
+        let i = mean(EncryptionMode::IFrames, &mut rng);
+        let p = mean(EncryptionMode::PFrames, &mut rng);
+        assert!(p > i, "closed loop: P {p} should exceed I {i}");
+    }
+
+    #[test]
+    fn mean_delay_tracks_analytic_prediction() {
+        // The "Analysis" and "Experiment" bars of Figure 7 must agree.
+        use thrifty_analytic::delay::DelayModel;
+        let (params, stream, policy) = setup(EncryptionMode::IFrames);
+        let model = DelayModel::new(&params).predict(policy).unwrap();
+        let mut delays = Vec::new();
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let s = SenderSim::new(&params, policy).run(&stream, &mut rng);
+            delays.push(s.mean_delay_s);
+        }
+        let sim_mean: f64 = delays.iter().sum::<f64>() / delays.len() as f64;
+        let rel = (sim_mean - model.mean_delay_s).abs() / model.mean_delay_s;
+        assert!(
+            rel < 0.35,
+            "sim {sim_mean} vs analysis {} (rel {rel})",
+            model.mean_delay_s
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! # thrifty-video
+//!
+//! Video substrate for the CoNEXT 2013 reproduction: everything the paper
+//! took from GPAC / EvalVid / x264 / AForge / the TU-Berlin CIF clips,
+//! rebuilt in Rust.
+//!
+//! * [`yuv`] — planar YUV 4:2:0 frame buffers (CIF 352×288 by default) with
+//!   MSE/PSNR arithmetic.
+//! * [`scene`] — a deterministic synthetic scene generator with controllable
+//!   motion level, substituting the paper's slow/fast-motion reference clips.
+//! * [`motion`] — frame-difference motion analyzer (AForge substitute) that
+//!   classifies clips into low/medium/high motion.
+//! * [`encoder`] — a toy predictive encoder producing the *IPP…P* GOP
+//!   structure with realistic frame-size statistics (I ≈ 100× P; P grows
+//!   with motion), either from pixels or from fitted distributions.
+//! * [`nal`] — H.264 Annex-B NAL unit reader/writer with emulation
+//!   prevention, so the packet path exercises real bitstream parsing.
+//! * [`bitstream`] — bit-level H.264 syntax: Exp-Golomb coding and minimal
+//!   SPS/PPS parameter sets.
+//! * [`packet`] — MTU packetizer mapping frames to the packet trains the
+//!   MMPP arrival model describes (I-frames fragment, P-frames fit in one).
+//! * [`quality`] — EvalVid substitute: loss concealment (frame-copy),
+//!   MSE/PSNR (paper eq. 28) and the PSNR→MOS mapping of Figure 5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitstream;
+pub mod encoder;
+pub mod motion;
+pub mod nal;
+pub mod packet;
+pub mod quality;
+pub mod scene;
+pub mod yuv;
+
+pub use bitstream::{BitReader, BitWriter, PictureParameterSet, SequenceParameterSet};
+pub use encoder::{EncodedFrame, EncodedStream, EncoderConfig, PixelEncoder, StatisticalEncoder};
+pub use motion::{MotionAnalyzer, MotionLevel};
+pub use packet::{Packetizer, VideoPacket};
+pub use quality::{psnr_db, ConcealingDecoder, Mos, RefreshingDecoder};
+pub use scene::{SceneConfig, SceneGenerator};
+pub use yuv::{Resolution, YuvFrame};
+
+/// The type of a video frame within a GOP.
+///
+/// The paper assumes an *IPP…P* structure (Section 2): every GOP opens with
+/// an I-frame followed by `gop_size − 1` P-frames; B-frames are not used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FrameType {
+    /// Intra-coded frame: decodable on its own; reference for the whole GOP.
+    I,
+    /// Predicted frame: coded as a delta against the preceding frame.
+    P,
+}
+
+impl FrameType {
+    /// Figure-label string ("I" / "P").
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameType::I => "I",
+            FrameType::P => "P",
+        }
+    }
+}
+
+impl std::fmt::Display for FrameType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Position of a frame within the GOP structure.
+///
+/// `index_in_gop == 0` ⇔ the frame is the GOP's I-frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GopPosition {
+    /// Which GOP the frame belongs to (0-based).
+    pub gop: usize,
+    /// Offset within the GOP (0-based; 0 is the I-frame).
+    pub index_in_gop: usize,
+}
+
+/// Compute the GOP position of absolute frame number `frame` under the given
+/// GOP size.
+pub fn gop_position(frame: usize, gop_size: usize) -> GopPosition {
+    assert!(gop_size > 0, "GOP size must be positive");
+    GopPosition {
+        gop: frame / gop_size,
+        index_in_gop: frame % gop_size,
+    }
+}
+
+/// Frame type implied by a GOP position under IPP…P coding.
+pub fn frame_type_at(frame: usize, gop_size: usize) -> FrameType {
+    if gop_position(frame, gop_size).index_in_gop == 0 {
+        FrameType::I
+    } else {
+        FrameType::P
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gop_position_basics() {
+        let p = gop_position(0, 30);
+        assert_eq!((p.gop, p.index_in_gop), (0, 0));
+        let p = gop_position(29, 30);
+        assert_eq!((p.gop, p.index_in_gop), (0, 29));
+        let p = gop_position(30, 30);
+        assert_eq!((p.gop, p.index_in_gop), (1, 0));
+        let p = gop_position(95, 30);
+        assert_eq!((p.gop, p.index_in_gop), (3, 5));
+    }
+
+    #[test]
+    fn frame_types_follow_ipp_structure() {
+        assert_eq!(frame_type_at(0, 30), FrameType::I);
+        for f in 1..30 {
+            assert_eq!(frame_type_at(f, 30), FrameType::P);
+        }
+        assert_eq!(frame_type_at(30, 30), FrameType::I);
+        assert_eq!(frame_type_at(50, 50), FrameType::I);
+        assert_eq!(frame_type_at(49, 50), FrameType::P);
+    }
+
+    #[test]
+    #[should_panic(expected = "GOP size must be positive")]
+    fn zero_gop_size_panics() {
+        gop_position(1, 0);
+    }
+}

@@ -1,0 +1,363 @@
+//! H.264 Annex-B NAL unit bitstream reader and writer.
+//!
+//! The paper's Android app reads an MP4/H.264 file through GPAC and ships
+//! each video segment in an RTP packet. We exercise the same path with our
+//! own bitstream layer: coded frames are wrapped as NAL units (IDR slices
+//! for I-frames, non-IDR slices for P-frames, plus SPS/PPS parameter sets),
+//! serialised with Annex-B start codes and **emulation-prevention bytes**
+//! (ITU-T H.264 §7.4.1.1), and parsed back on the receive side. The parser
+//! is tolerant of 3- and 4-byte start codes and reports malformed headers
+//! instead of panicking.
+
+/// NAL unit types we emit (subset of ITU-T H.264 Table 7-1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NalUnitType {
+    /// Coded slice of a non-IDR picture (P-frame), type 1.
+    NonIdrSlice,
+    /// Coded slice of an IDR picture (I-frame), type 5.
+    IdrSlice,
+    /// Sequence parameter set, type 7.
+    Sps,
+    /// Picture parameter set, type 8.
+    Pps,
+    /// Any other (valid but unhandled) type, with its 5-bit code.
+    Other(u8),
+}
+
+impl NalUnitType {
+    /// The 5-bit type code.
+    pub fn code(self) -> u8 {
+        match self {
+            NalUnitType::NonIdrSlice => 1,
+            NalUnitType::IdrSlice => 5,
+            NalUnitType::Sps => 7,
+            NalUnitType::Pps => 8,
+            NalUnitType::Other(c) => c & 0x1f,
+        }
+    }
+
+    /// Decode a 5-bit type code.
+    pub fn from_code(code: u8) -> Self {
+        match code & 0x1f {
+            1 => NalUnitType::NonIdrSlice,
+            5 => NalUnitType::IdrSlice,
+            7 => NalUnitType::Sps,
+            8 => NalUnitType::Pps,
+            c => NalUnitType::Other(c),
+        }
+    }
+
+    /// True for slice types that carry picture data.
+    pub fn is_slice(self) -> bool {
+        matches!(self, NalUnitType::NonIdrSlice | NalUnitType::IdrSlice)
+    }
+}
+
+/// A parsed NAL unit: header fields plus the raw (unescaped) payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NalUnit {
+    /// 2-bit nal_ref_idc: importance for reference (3 for IDR/SPS/PPS).
+    pub ref_idc: u8,
+    /// Unit type.
+    pub unit_type: NalUnitType,
+    /// Raw byte sequence payload (RBSP, after unescaping).
+    pub payload: Vec<u8>,
+}
+
+impl NalUnit {
+    /// Construct a unit; `ref_idc` is masked to 2 bits.
+    pub fn new(ref_idc: u8, unit_type: NalUnitType, payload: Vec<u8>) -> Self {
+        NalUnit {
+            ref_idc: ref_idc & 0x3,
+            unit_type,
+            payload,
+        }
+    }
+
+    /// A deterministic synthetic slice of `bytes` payload bytes for frame
+    /// `index` — used when the "coded" frame content is only a byte count.
+    pub fn synthetic_slice(index: usize, is_idr: bool, bytes: usize) -> Self {
+        let unit_type = if is_idr {
+            NalUnitType::IdrSlice
+        } else {
+            NalUnitType::NonIdrSlice
+        };
+        // Filler pattern that deliberately contains 00 00 0x runs so the
+        // emulation-prevention path is exercised on every frame.
+        let payload: Vec<u8> = (0..bytes)
+            .map(|i| match i % 7 {
+                0 | 1 => 0x00,
+                2 => (index % 4) as u8, // 00 00 00..03 sequences need escaping
+                _ => ((i * 31 + index * 7) % 251) as u8,
+            })
+            .collect();
+        NalUnit::new(if is_idr { 3 } else { 2 }, unit_type, payload)
+    }
+
+    /// The header byte: forbidden_zero_bit | ref_idc | type.
+    pub fn header_byte(&self) -> u8 {
+        (self.ref_idc << 5) | self.unit_type.code()
+    }
+}
+
+/// Errors from [`parse_annex_b`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NalError {
+    /// The forbidden_zero_bit of a NAL header was set.
+    ForbiddenBitSet {
+        /// Byte offset of the offending header in the input.
+        offset: usize,
+    },
+    /// A start code was followed by no header byte.
+    TruncatedUnit {
+        /// Byte offset of the start code.
+        offset: usize,
+    },
+    /// No start code found anywhere in a non-empty input.
+    NoStartCode,
+}
+
+impl std::fmt::Display for NalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NalError::ForbiddenBitSet { offset } => {
+                write!(f, "forbidden_zero_bit set in NAL header at offset {offset}")
+            }
+            NalError::TruncatedUnit { offset } => {
+                write!(f, "truncated NAL unit after start code at offset {offset}")
+            }
+            NalError::NoStartCode => write!(f, "no Annex-B start code in input"),
+        }
+    }
+}
+
+impl std::error::Error for NalError {}
+
+/// Escape a raw payload into EBSP: insert 0x03 after any `00 00` that would
+/// otherwise be followed by `00`, `01`, `02` or `03`.
+fn escape_into(payload: &[u8], out: &mut Vec<u8>) {
+    let mut zeros = 0usize;
+    for &b in payload {
+        if zeros >= 2 && b <= 0x03 {
+            out.push(0x03);
+            zeros = 0;
+        }
+        out.push(b);
+        if b == 0 {
+            zeros += 1;
+        } else {
+            zeros = 0;
+        }
+    }
+}
+
+/// Remove emulation-prevention bytes from an EBSP payload.
+fn unescape(ebsp: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ebsp.len());
+    let mut zeros = 0usize;
+    let mut i = 0;
+    while i < ebsp.len() {
+        let b = ebsp[i];
+        if zeros >= 2 && b == 0x03 && i + 1 < ebsp.len() && ebsp[i + 1] <= 0x03 {
+            // emulation prevention byte: skip it
+            zeros = 0;
+            i += 1;
+            continue;
+        }
+        out.push(b);
+        if b == 0 {
+            zeros += 1;
+        } else {
+            zeros = 0;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Serialise NAL units as an Annex-B byte stream (4-byte start codes).
+pub fn write_annex_b(units: &[NalUnit]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(units.iter().map(|u| u.payload.len() + 8).sum());
+    for unit in units {
+        out.extend_from_slice(&[0, 0, 0, 1]);
+        out.push(unit.header_byte());
+        escape_into(&unit.payload, &mut out);
+    }
+    out
+}
+
+/// Parse an Annex-B byte stream into NAL units.
+///
+/// Accepts both 3-byte (`00 00 01`) and 4-byte (`00 00 00 01`) start codes.
+/// Trailing zero bytes before the next start code are treated as payload
+/// (they are unambiguous after unescaping in our profile).
+pub fn parse_annex_b(stream: &[u8]) -> Result<Vec<NalUnit>, NalError> {
+    if stream.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Find all start-code positions: (offset_of_first_zero, header_offset).
+    let mut starts: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i + 2 < stream.len() {
+        if stream[i] == 0 && stream[i + 1] == 0 {
+            if stream[i + 2] == 1 {
+                starts.push((i, i + 3));
+                i += 3;
+                continue;
+            }
+            if i + 3 < stream.len() && stream[i + 2] == 0 && stream[i + 3] == 1 {
+                starts.push((i, i + 4));
+                i += 4;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    if starts.is_empty() {
+        return Err(NalError::NoStartCode);
+    }
+    let mut units = Vec::with_capacity(starts.len());
+    for (k, &(code_off, hdr_off)) in starts.iter().enumerate() {
+        let end = starts.get(k + 1).map_or(stream.len(), |&(next, _)| next);
+        if hdr_off >= end {
+            return Err(NalError::TruncatedUnit { offset: code_off });
+        }
+        let header = stream[hdr_off];
+        if header & 0x80 != 0 {
+            return Err(NalError::ForbiddenBitSet { offset: hdr_off });
+        }
+        units.push(NalUnit {
+            ref_idc: (header >> 5) & 0x3,
+            unit_type: NalUnitType::from_code(header),
+            payload: unescape(&stream[hdr_off + 1..end]),
+        });
+    }
+    Ok(units)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple_units() {
+        let units = vec![
+            NalUnit::new(3, NalUnitType::Sps, vec![0x67, 0x42]),
+            NalUnit::new(3, NalUnitType::Pps, vec![0x68]),
+            NalUnit::new(3, NalUnitType::IdrSlice, vec![1, 2, 3, 4, 5]),
+            NalUnit::new(2, NalUnitType::NonIdrSlice, vec![9; 100]),
+        ];
+        let stream = write_annex_b(&units);
+        let parsed = parse_annex_b(&stream).unwrap();
+        assert_eq!(parsed, units);
+    }
+
+    #[test]
+    fn emulation_prevention_roundtrip() {
+        // Payloads full of 00 00 0x patterns that require escaping.
+        let tricky = vec![
+            vec![0, 0, 0],
+            vec![0, 0, 1],
+            vec![0, 0, 2],
+            vec![0, 0, 3],
+            vec![0, 0, 0, 0, 0, 0],
+            vec![0, 0, 1, 0, 0, 2, 0, 0, 3],
+            vec![0xff, 0, 0, 0, 0xff],
+        ];
+        for payload in tricky {
+            let unit = NalUnit::new(1, NalUnitType::NonIdrSlice, payload.clone());
+            let stream = write_annex_b(std::slice::from_ref(&unit));
+            // The escaped stream must not contain a start code inside the payload.
+            let body = &stream[5..];
+            assert!(
+                !body.windows(3).any(|w| w == [0, 0, 1]),
+                "payload {payload:?} leaked a start code: {body:?}"
+            );
+            let parsed = parse_annex_b(&stream).unwrap();
+            assert_eq!(parsed[0].payload, payload);
+        }
+    }
+
+    #[test]
+    fn synthetic_slices_roundtrip_and_classify() {
+        let units: Vec<NalUnit> = (0..10)
+            .map(|i| NalUnit::synthetic_slice(i, i % 5 == 0, 50 + i * 13))
+            .collect();
+        let stream = write_annex_b(&units);
+        let parsed = parse_annex_b(&stream).unwrap();
+        assert_eq!(parsed.len(), 10);
+        for (i, u) in parsed.iter().enumerate() {
+            assert_eq!(u.payload.len(), 50 + i * 13);
+            assert_eq!(
+                u.unit_type,
+                if i % 5 == 0 {
+                    NalUnitType::IdrSlice
+                } else {
+                    NalUnitType::NonIdrSlice
+                }
+            );
+            assert!(u.unit_type.is_slice());
+        }
+    }
+
+    #[test]
+    fn three_byte_start_codes_accepted() {
+        let mut stream = vec![0, 0, 1, (3 << 5) | 5, 0xAA, 0xBB];
+        stream.extend_from_slice(&[0, 0, 1, (2 << 5) | 1, 0xCC]);
+        let parsed = parse_annex_b(&stream).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].unit_type, NalUnitType::IdrSlice);
+        assert_eq!(parsed[0].payload, vec![0xAA, 0xBB]);
+        assert_eq!(parsed[1].unit_type, NalUnitType::NonIdrSlice);
+    }
+
+    #[test]
+    fn forbidden_bit_is_reported() {
+        let stream = vec![0, 0, 0, 1, 0x80 | 5, 1, 2];
+        assert_eq!(
+            parse_annex_b(&stream),
+            Err(NalError::ForbiddenBitSet { offset: 4 })
+        );
+    }
+
+    #[test]
+    fn garbage_without_start_code_is_an_error() {
+        assert_eq!(parse_annex_b(&[1, 2, 3, 4, 5]), Err(NalError::NoStartCode));
+        // Empty input parses to an empty list (a valid empty stream).
+        assert_eq!(parse_annex_b(&[]).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn truncated_unit_is_reported() {
+        let stream = vec![0xAB, 0, 0, 0, 1];
+        assert_eq!(
+            parse_annex_b(&stream),
+            Err(NalError::TruncatedUnit { offset: 1 })
+        );
+    }
+
+    #[test]
+    fn leading_garbage_before_first_start_code_is_skipped() {
+        let mut stream = vec![0xDE, 0xAD, 0xBE];
+        stream.extend_from_slice(&[0, 0, 0, 1, (3 << 5) | 7, 0x42]);
+        let units = parse_annex_b(&stream).unwrap();
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].unit_type, NalUnitType::Sps);
+        assert_eq!(units[0].payload, vec![0x42]);
+    }
+
+    #[test]
+    fn empty_payload_unit_roundtrips() {
+        let unit = NalUnit::new(0, NalUnitType::Other(12), Vec::new());
+        let stream = write_annex_b(std::slice::from_ref(&unit));
+        let parsed = parse_annex_b(&stream).unwrap();
+        assert_eq!(parsed, vec![unit]);
+    }
+
+    #[test]
+    fn unit_type_codes_roundtrip() {
+        for code in 0..32u8 {
+            assert_eq!(NalUnitType::from_code(code).code(), code);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Tail latency per encryption policy — beyond the paper's means.
+//!
+//! The algorithm the paper cites (Heffes–Lucantoni) computes "the
+//! distribution function and the moments" of the packet delay; the figures
+//! only plot means. This example inverts the waiting-time transform
+//! (Abate–Whitt Euler inversion of the 2-MMPP/G/1 workload) to show the
+//! p50/p95/p99 delay per policy — where selective encryption looks even
+//! better than on average, because queueing tails amplify the heavy
+//! policies disproportionately.
+//!
+//! Run with: `cargo run --release --example delay_tail`
+
+use thrifty::analytic::delay::DelayModel;
+use thrifty::analytic::params::{ScenarioParams, SAMSUNG_GALAXY_S2};
+use thrifty::analytic::policy::{EncryptionMode, Policy};
+use thrifty::crypto::Algorithm;
+use thrifty::video::MotionLevel;
+
+fn main() {
+    println!("delay percentiles, fast motion, GOP 30, Samsung Galaxy S-II\n");
+    for alg in [Algorithm::Aes256, Algorithm::TripleDes] {
+        println!("=== {alg} ===");
+        println!(
+            "{:<8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "mode", "mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)", "p99/mean"
+        );
+        let params = ScenarioParams::calibrated(MotionLevel::High, 30, SAMSUNG_GALAXY_S2, 5, 0.92);
+        let model = DelayModel::new(&params);
+        for mode in EncryptionMode::TABLE1 {
+            let policy = Policy::new(alg, mode);
+            let mean = model.predict(policy).unwrap().mean_delay_s;
+            let q = model
+                .predict_percentiles(policy, &[0.5, 0.95, 0.99])
+                .unwrap();
+            println!(
+                "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>11.1}x",
+                mode.label(),
+                mean * 1e3,
+                q[0] * 1e3,
+                q[1] * 1e3,
+                q[2] * 1e3,
+                q[2] / mean,
+            );
+        }
+        println!();
+    }
+    println!(
+        "Takeaway: the encrypt-everything tail stretches several times further\n\
+         than its mean; the I-only policy keeps even p99 near the unencrypted\n\
+         baseline — the thrifty trade is strongest exactly where users feel it."
+    );
+}

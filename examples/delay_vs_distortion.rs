@@ -1,0 +1,53 @@
+//! The paper's central trade-off (Sections 6.2, Figures 4 & 7): for each
+//! encryption mode, the per-packet delay at the sender versus the
+//! distortion inflicted on the eavesdropper — model ("Analysis") next to
+//! simulation ("Experiment"), for slow- and fast-motion content.
+//!
+//! Run with: `cargo run --release --example delay_vs_distortion`
+
+use thrifty::analytic::delay::DelayModel;
+use thrifty::analytic::distortion::{DistortionModel, Observer};
+use thrifty::analytic::policy::{EncryptionMode, Policy};
+use thrifty::analytic::regression::SceneDistortion;
+use thrifty::crypto::Algorithm;
+use thrifty::sim::experiment::{Experiment, ExperimentConfig};
+use thrifty::video::MotionLevel;
+
+fn main() {
+    for (label, motion) in [("slow-motion", MotionLevel::Low), ("fast-motion", MotionLevel::High)] {
+        println!("=== {label}, GOP 30, AES-256, Samsung Galaxy S-II ===");
+        println!(
+            "{:<8} {:>14} {:>14} {:>12} {:>12} {:>9}",
+            "mode", "delay ana(ms)", "delay sim(ms)", "PSNR ana", "PSNR sim", "MOS sim"
+        );
+        let scene = SceneDistortion::measure(motion, 60, 12, 11);
+        for mode in EncryptionMode::TABLE1 {
+            let policy = Policy::new(Algorithm::Aes256, mode);
+            let mut cfg = ExperimentConfig::paper_cell(motion, 30, policy);
+            cfg.trials = 5;
+            cfg.frames = 150;
+            let exp = Experiment::prepare(cfg);
+            let ana_delay = DelayModel::new(&exp.params).predict(policy).unwrap();
+            let ana_dist =
+                DistortionModel::new(&exp.params, &scene).predict(policy, Observer::Eavesdropper);
+            let result = exp.run();
+            println!(
+                "{:<8} {:>14.3} {:>8.3} ±{:<4.3} {:>9.1} dB {:>9.1} dB {:>9.2}",
+                mode.label(),
+                ana_delay.mean_delay_s * 1e3,
+                result.delay_s.mean * 1e3,
+                result.delay_s.ci95 * 1e3,
+                ana_dist.psnr_db,
+                result.psnr_eve_db.mean,
+                result.mos_eve.mean,
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading the table like the paper does:\n\
+         - I-encryption is nearly as cheap as no encryption; P/all cost much more (Fig. 7).\n\
+         - For slow motion, I-encryption alone floors the eavesdropper's quality (Fig. 4a).\n\
+         - For fast motion, P-frames leak content, so I needs a P fraction on top (Fig. 4b)."
+    );
+}

@@ -1,0 +1,47 @@
+//! Quickstart: the paper's Figure 1 workflow.
+//!
+//! A user is about to upload a clip over open WiFi and picks a privacy
+//! level. The advisor calibrates the analytical framework from minimal
+//! measurements and, for the balanced choice, finds the cheapest encryption
+//! policy that still renders the stream useless to an eavesdropper.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use thrifty::analytic::params::SAMSUNG_GALAXY_S2;
+use thrifty::crypto::Algorithm;
+use thrifty::video::MotionLevel;
+use thrifty::{PolicyAdvisor, PrivacyPreference};
+
+fn main() {
+    println!("thrifty quickstart — selective encryption for mobile video uploads\n");
+    for (label, motion) in [("slow-motion", MotionLevel::Low), ("fast-motion", MotionLevel::High)] {
+        println!("=== {label} clip, GOP 30, Samsung Galaxy S-II, AES-256 ===");
+        let advisor = PolicyAdvisor::calibrate(motion, 30, SAMSUNG_GALAXY_S2, Algorithm::Aes256);
+        println!(
+            "{:<14} {:>10} {:>12} {:>12} {:>9} {:>8}",
+            "preference", "policy", "delay (ms)", "eve PSNR", "eve MOS", "power"
+        );
+        for (name, pref) in [
+            ("no privacy", PrivacyPreference::NoPrivacy),
+            ("balanced", PrivacyPreference::Balanced),
+            ("full privacy", PrivacyPreference::FullPrivacy),
+        ] {
+            let r = advisor.recommend(pref);
+            println!(
+                "{:<14} {:>10} {:>12.3} {:>9.1} dB {:>9.2} {:>6.2} W",
+                name,
+                r.policy.mode.label(),
+                r.delay.mean_delay_s * 1e3,
+                r.distortion.psnr_db,
+                r.distortion.mos,
+                r.power_w,
+            );
+        }
+        let balanced = advisor.recommend(PrivacyPreference::Balanced);
+        println!("advisor: {}\n", balanced.rationale);
+    }
+    println!(
+        "Key result (paper §1): selective encryption preserves confidentiality\n\
+         while cutting encryption delay by up to 75% and energy by up to 92%."
+    );
+}

@@ -1,0 +1,74 @@
+//! End-to-end secure transfer over the real-bytes pipeline (paper Fig. 3).
+//!
+//! Builds genuine H.264 Annex-B NAL units, runs the threaded
+//! producer → encryptor → air → {receiver, eavesdropper} pipeline with the
+//! actual AES-256 cipher in per-segment OFB mode, and shows that the
+//! receiver reconstructs every frame byte-for-byte while the eavesdropper
+//! can only use what was left in the clear.
+//!
+//! Run with: `cargo run --release --example secure_transfer`
+
+use thrifty::analytic::policy::{EncryptionMode, Policy};
+use thrifty::crypto::Algorithm;
+use thrifty::sim::pipeline::{run_pipeline, InputFrame, PipelineConfig};
+use thrifty::video::FrameType;
+
+fn frames(n: usize, gop: usize, p_bytes: usize) -> Vec<InputFrame> {
+    (0..n)
+        .map(|i| {
+            let ftype = if i % gop == 0 { FrameType::I } else { FrameType::P };
+            let bytes = if ftype == FrameType::I { 15_000 } else { p_bytes };
+            InputFrame::synthetic(i, ftype, bytes)
+        })
+        .collect()
+}
+
+fn main() {
+    println!("real-bytes pipeline: 60 frames, GOP 30, AES-256 OFB per segment\n");
+    for (mode, note) in [
+        (EncryptionMode::None, "everything readable by anyone"),
+        (EncryptionMode::IFrames, "paper's slow-motion recommendation"),
+        (
+            EncryptionMode::IPlusFractionP(0.2),
+            "paper's fast-motion recommendation",
+        ),
+        (EncryptionMode::All, "full privacy, full cost"),
+    ] {
+        let config = PipelineConfig {
+            policy: Policy::new(Algorithm::Aes256, mode),
+            loss_prob: 0.0,
+            seed: 2024,
+            ..PipelineConfig::default()
+        };
+        let out = run_pipeline(frames(60, 30, 1200), config);
+        println!(
+            "{:>8}: {:>3} packets ({:>3} encrypted) | receiver {}/60 frames | eavesdropper {}/60 frames   ({note})",
+            mode.label(),
+            out.packets_sent,
+            out.packets_encrypted,
+            out.receiver.frames_ok.len(),
+            out.eavesdropper.frames_ok.len(),
+        );
+        assert_eq!(
+            out.receiver.frames_ok.len(),
+            60,
+            "the legitimate receiver must always reconstruct everything"
+        );
+    }
+
+    // With channel loss both parties suffer, but encryption still only
+    // hurts the eavesdropper.
+    println!("\nwith 10% packet loss on the air:");
+    let config = PipelineConfig {
+        policy: Policy::new(Algorithm::Aes256, EncryptionMode::IFrames),
+        loss_prob: 0.10,
+        seed: 7,
+        ..PipelineConfig::default()
+    };
+    let out = run_pipeline(frames(60, 30, 1200), config);
+    println!(
+        "       I: receiver {}/60 frames, eavesdropper {}/60 frames",
+        out.receiver.frames_ok.len(),
+        out.eavesdropper.frames_ok.len()
+    );
+}

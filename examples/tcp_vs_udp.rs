@@ -1,0 +1,64 @@
+//! HTTP/TCP versus RTP/UDP transfers (paper Section 6.4, Figures 12–15).
+//!
+//! The paper repeats the selective-encryption experiments over HTTP/TCP,
+//! with the encryption marker carried in a TCP option header: latencies are
+//! somewhat higher (retransmissions), the receiver's quality improves
+//! (reliable delivery), and the eavesdropper's distortion trends are
+//! unchanged.
+//!
+//! Run with: `cargo run --release --example tcp_vs_udp`
+
+use thrifty::analytic::policy::{EncryptionMode, Policy};
+use thrifty::crypto::Algorithm;
+use thrifty::net::tcp::TcpSegment;
+use thrifty::sim::experiment::{Experiment, ExperimentConfig, Transport};
+use thrifty::video::MotionLevel;
+
+fn main() {
+    // First show the actual wire format: the marker option of §6.4.
+    let seg = TcpSegment {
+        src_port: 8080,
+        dst_port: 41000,
+        seq: 1,
+        ack: 1,
+        encrypted_marker: true,
+        payload: b"encrypted video chunk".to_vec(),
+    };
+    let wire = seg.emit();
+    let parsed = TcpSegment::parse(&wire).unwrap();
+    println!(
+        "TCP segment: {} bytes on the wire, marker option = {}\n",
+        wire.len(),
+        parsed.encrypted_marker
+    );
+
+    for (label, motion) in [("slow-motion", MotionLevel::Low), ("fast-motion", MotionLevel::High)] {
+        println!("=== {label}, GOP 30, AES-256 ===");
+        println!(
+            "{:<8} {:>16} {:>16} {:>12} {:>12}",
+            "mode", "UDP delay (ms)", "TCP delay (ms)", "eve PSNR", "rx PSNR"
+        );
+        for mode in EncryptionMode::TABLE1 {
+            let policy = Policy::new(Algorithm::Aes256, mode);
+            let mut cfg = ExperimentConfig::paper_cell(motion, 30, policy);
+            cfg.trials = 4;
+            cfg.frames = 150;
+            let udp = Experiment::prepare(cfg).run();
+            cfg.transport = Transport::HttpTcp;
+            let tcp = Experiment::prepare(cfg).run();
+            println!(
+                "{:<8} {:>16.3} {:>16.3} {:>9.1} dB {:>9.1} dB",
+                mode.label(),
+                udp.delay_s.mean * 1e3,
+                tcp.delay_s.mean * 1e3,
+                tcp.psnr_eve_db.mean,
+                tcp.psnr_rx_db.mean,
+            );
+        }
+        println!();
+    }
+    println!(
+        "As in the paper: TCP adds latency but the policy ordering and the\n\
+         eavesdropper's distortion trends are the same as with RTP/UDP."
+    );
+}

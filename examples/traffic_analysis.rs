@@ -1,0 +1,79 @@
+//! The Section 3 traffic-analysis attack and the padding countermeasure.
+//!
+//! "The eavesdropper may be able to distinguish packets as belonging to
+//! either I-frames or P-frames based on their size" — which matters because
+//! knowing which packets are I-fragments tells the eavesdropper exactly
+//! which packets the sender will encrypt under the thrifty policies. This
+//! example mounts that attack against a simulated transfer and then shows
+//! what payload padding costs and buys.
+//!
+//! Run with: `cargo run --release --example traffic_analysis`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use thrifty::analytic::params::{ScenarioParams, SAMSUNG_GALAXY_S2};
+use thrifty::analytic::policy::{EncryptionMode, Policy};
+use thrifty::crypto::Algorithm;
+use thrifty::net::traffic::{PaddingPolicy, SizeClassifier};
+use thrifty::sim::sender::SenderSim;
+use thrifty::video::encoder::StatisticalEncoder;
+use thrifty::video::{FrameType, MotionLevel};
+
+fn main() {
+    let motion = MotionLevel::Low;
+    let params = ScenarioParams::calibrated(motion, 30, SAMSUNG_GALAXY_S2, 5, 0.92);
+    let mut rng = StdRng::seed_from_u64(1);
+    let stream = StatisticalEncoder::new(motion, 30).encode(300, &mut rng);
+    // Transfer in the clear: every packet is observable.
+    let policy = Policy::new(Algorithm::Aes256, EncryptionMode::None);
+    let summary = SenderSim::new(&params, policy).run(&stream, &mut rng);
+
+    // Ground truth for scoring: is each captured packet an I fragment?
+    let labelled: Vec<(usize, bool)> = summary
+        .records
+        .iter()
+        .map(|r| (r.bytes, r.ftype == FrameType::I))
+        .collect();
+
+    println!("traffic analysis on a slow-motion transfer ({} packets)\n", labelled.len());
+    println!(
+        "{:<22} {:>12} {:>12} {:>14}",
+        "padding", "accuracy", "separation", "byte overhead"
+    );
+    for (name, padding) in [
+        ("none (paper)", PaddingPolicy::None),
+        ("to 512-byte buckets", PaddingPolicy::ToMultiple(512)),
+        ("to MTU", PaddingPolicy::ToMtu),
+    ] {
+        let padded: Vec<(usize, bool)> = labelled
+            .iter()
+            .map(|&(b, l)| (padding.padded_size(b, 1460), l))
+            .collect();
+        let sizes: Vec<usize> = padded.iter().map(|&(b, _)| b).collect();
+        let overhead = padding.overhead(
+            &labelled.iter().map(|&(b, _)| b).collect::<Vec<_>>(),
+            1460,
+        );
+        match SizeClassifier::fit(&sizes) {
+            Some(c) => println!(
+                "{:<22} {:>11.1}% {:>12.3} {:>13.1}%",
+                name,
+                c.accuracy(&padded) * 100.0,
+                c.separation(1460),
+                overhead * 100.0
+            ),
+            None => println!(
+                "{:<22} {:>12} {:>12} {:>13.1}%",
+                name,
+                "defeated",
+                "0",
+                overhead * 100.0
+            ),
+        }
+    }
+    println!(
+        "\nUnpadded sizes identify I-fragments almost perfectly; padding to the MTU\n\
+         removes the signal entirely at the cost of extra airtime — exactly the\n\
+         trade the paper points at but leaves out of scope."
+    );
+}

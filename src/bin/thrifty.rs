@@ -1,0 +1,258 @@
+//! `thrifty` — command-line front end for the CoNEXT 2013 reproduction.
+//!
+//! ```text
+//! thrifty advise     --motion fast --gop 30 --device samsung --cipher aes256
+//! thrifty predict    --motion slow --mode I [--percentiles]
+//! thrifty experiment --motion fast --mode I+20%P [--tcp] [--trials 5]
+//! thrifty help
+//! ```
+//!
+//! The argument parser is deliberately hand-rolled (`--key value` pairs) to
+//! keep the dependency set at the workspace's minimal footprint.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use thrifty::analytic::delay::DelayModel;
+use thrifty::analytic::distortion::{DistortionModel, Observer};
+use thrifty::analytic::params::{DeviceSpec, HTC_AMAZE_4G, SAMSUNG_GALAXY_S2};
+use thrifty::analytic::policy::{EncryptionMode, Policy};
+use thrifty::analytic::regression::SceneDistortion;
+use thrifty::crypto::Algorithm;
+use thrifty::energy::{PowerProfile, HTC_AMAZE_4G_POWER, SAMSUNG_GALAXY_S2_POWER};
+use thrifty::sim::experiment::{Experiment, ExperimentConfig, Transport};
+use thrifty::video::MotionLevel;
+use thrifty::{PolicyAdvisor, PrivacyPreference};
+
+const USAGE: &str = "\
+thrifty — resource-thrifty secure mobile video transfers (CoNEXT'13 reproduction)
+
+USAGE:
+    thrifty <command> [--key value ...]
+
+COMMANDS:
+    advise       recommend the cheapest policy that blinds an eavesdropper
+    predict      analytic delay + distortion for one policy
+    experiment   run the simulated testbed for one policy
+    help         print this text
+
+COMMON OPTIONS (with defaults):
+    --motion  slow|medium|fast     [fast]
+    --gop     <frames>             [30]
+    --device  samsung|htc          [samsung]
+    --cipher  aes128|aes256|3des   [aes256]
+
+COMMAND OPTIONS:
+    advise:      --privacy none|balanced|full   [balanced]
+    predict:     --mode none|I|P|all|I+<n>%P    [I]
+                 --percentiles                  (adds p50/p95/p99)
+                 --tcp                          (adds TCP retransmission latency)
+    experiment:  --mode ... (as above) [I]
+                 --trials <n> [5]  --frames <n> [150]  --tcp
+";
+
+struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--") {
+                // Value-less switches.
+                if matches!(key, "percentiles" | "tcp") {
+                    switches.push(key.to_string());
+                    i += 1;
+                    continue;
+                }
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("missing value for --{key}"))?;
+                flags.insert(key.to_string(), value.clone());
+                i += 2;
+            } else {
+                return Err(format!("unexpected argument '{a}'"));
+            }
+        }
+        Ok(Args { flags, switches })
+    }
+
+    fn get(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.into())
+    }
+
+    fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    fn motion(&self) -> Result<MotionLevel, String> {
+        match self.get("motion", "fast").to_ascii_lowercase().as_str() {
+            "slow" | "low" => Ok(MotionLevel::Low),
+            "medium" => Ok(MotionLevel::Medium),
+            "fast" | "high" => Ok(MotionLevel::High),
+            other => Err(format!("unknown motion '{other}'")),
+        }
+    }
+
+    fn gop(&self) -> Result<usize, String> {
+        self.get("gop", "30")
+            .parse::<usize>()
+            .ok()
+            .filter(|&g| g >= 2)
+            .ok_or_else(|| "GOP must be an integer >= 2".into())
+    }
+
+    fn device(&self) -> Result<(DeviceSpec, PowerProfile), String> {
+        match self.get("device", "samsung").to_ascii_lowercase().as_str() {
+            "samsung" | "s2" | "galaxy" => Ok((SAMSUNG_GALAXY_S2, SAMSUNG_GALAXY_S2_POWER)),
+            "htc" | "amaze" => Ok((HTC_AMAZE_4G, HTC_AMAZE_4G_POWER)),
+            other => Err(format!("unknown device '{other}' (samsung|htc)")),
+        }
+    }
+
+    fn cipher(&self) -> Result<Algorithm, String> {
+        match self.get("cipher", "aes256").to_ascii_lowercase().as_str() {
+            "aes128" => Ok(Algorithm::Aes128),
+            "aes256" => Ok(Algorithm::Aes256),
+            "3des" | "tripledes" | "des3" => Ok(Algorithm::TripleDes),
+            other => Err(format!("unknown cipher '{other}' (aes128|aes256|3des)")),
+        }
+    }
+
+    fn mode(&self) -> Result<EncryptionMode, String> {
+        self.get("mode", "I").parse().map_err(|e| format!("{e}"))
+    }
+}
+
+fn advise(args: &Args) -> Result<(), String> {
+    let motion = args.motion()?;
+    let (device, _) = args.device()?;
+    let advisor = PolicyAdvisor::calibrate(motion, args.gop()?, device, args.cipher()?);
+    let preference = match args.get("privacy", "balanced").to_ascii_lowercase().as_str() {
+        "none" => PrivacyPreference::NoPrivacy,
+        "balanced" => PrivacyPreference::Balanced,
+        "full" => PrivacyPreference::FullPrivacy,
+        other => return Err(format!("unknown privacy '{other}' (none|balanced|full)")),
+    };
+    let r = advisor.recommend(preference);
+    println!("policy:           {}", r.policy);
+    println!("rationale:        {}", r.rationale);
+    println!("delay:            {:.3} ms/packet", r.delay.mean_delay_s * 1e3);
+    println!("eavesdropper:     {:.1} dB PSNR, MOS {:.2}", r.distortion.psnr_db, r.distortion.mos);
+    println!("device power:     {:.2} W", r.power_w);
+    println!("packets encrypted: {:.1}%", r.delay.encrypted_fraction * 100.0);
+    Ok(())
+}
+
+fn predict(args: &Args) -> Result<(), String> {
+    let motion = args.motion()?;
+    let gop = args.gop()?;
+    let (device, power) = args.device()?;
+    let policy = Policy::new(args.cipher()?, args.mode()?);
+    let params =
+        thrifty::analytic::params::ScenarioParams::calibrated(motion, gop, device, 5, 0.92);
+    let model = DelayModel::new(&params);
+    let delay = if args.has("tcp") {
+        model.predict_tcp(policy, 0.01)
+    } else {
+        model.predict(policy)
+    }
+    .map_err(|e| format!("{e}"))?;
+    let scene = SceneDistortion::measure(motion, 60, 12, 11);
+    let dist = DistortionModel::new(&params, &scene).predict(policy, Observer::Eavesdropper);
+    let load = thrifty::energy::CryptoLoad::from_stream(
+        &{
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+            thrifty::video::encoder::StatisticalEncoder::new(motion, gop).encode(300, &mut rng)
+        },
+        policy,
+    );
+    println!("policy:        {policy}");
+    println!("utilisation:   {:.3}", delay.rho);
+    println!("mean delay:    {:.3} ms/packet", delay.mean_delay_s * 1e3);
+    if args.has("percentiles") {
+        let q = model
+            .predict_percentiles(policy, &[0.5, 0.95, 0.99])
+            .map_err(|e| format!("{e}"))?;
+        println!(
+            "percentiles:   p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+            q[0] * 1e3,
+            q[1] * 1e3,
+            q[2] * 1e3
+        );
+    }
+    println!("eavesdropper:  {:.1} dB PSNR, MOS {:.2}", dist.psnr_db, dist.mos);
+    println!("device power:  {:.2} W", power.power_w(&load));
+    Ok(())
+}
+
+fn experiment(args: &Args) -> Result<(), String> {
+    let policy = Policy::new(args.cipher()?, args.mode()?);
+    let mut cfg = ExperimentConfig::paper_cell(args.motion()?, args.gop()?, policy);
+    let (device, power) = args.device()?;
+    cfg.device = device;
+    cfg.power = power;
+    cfg.trials = args
+        .get("trials", "5")
+        .parse()
+        .map_err(|_| "trials must be an integer".to_string())?;
+    cfg.frames = args
+        .get("frames", "150")
+        .parse()
+        .map_err(|_| "frames must be an integer".to_string())?;
+    if args.has("tcp") {
+        cfg.transport = Transport::HttpTcp;
+    }
+    let result = Experiment::prepare(cfg).run();
+    println!("policy:        {policy}  ({} trials × {} frames)", cfg.trials, cfg.frames);
+    println!("delay:         {:.3} ± {:.3} ms/packet", result.delay_s.mean * 1e3, result.delay_s.ci95 * 1e3);
+    println!(
+        "receiver:      {:.1} dB PSNR, MOS {:.2}",
+        result.psnr_rx_db.mean, result.mos_rx.mean
+    );
+    println!(
+        "eavesdropper:  {:.1} dB PSNR, MOS {:.2}",
+        result.psnr_eve_db.mean, result.mos_eve.mean
+    );
+    println!("device power:  {:.2} W", result.power_w);
+    println!("q (encrypted): {:.1}%", result.encrypted_fraction * 100.0);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "advise" => advise(&args),
+        "predict" => predict(&args),
+        "experiment" => experiment(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

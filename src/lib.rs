@@ -1,0 +1,2 @@
+//! Root package: see `thrifty` for the public API.
+pub use thrifty::*;

@@ -1,0 +1,187 @@
+//! Integration tests pinning the paper's **key results** (Section 1) across
+//! the whole stack: analytic framework, simulation testbed, and energy
+//! model must all tell the same story.
+
+use thrifty::analytic::delay::DelayModel;
+use thrifty::analytic::distortion::{DistortionModel, Observer};
+use thrifty::analytic::params::{ScenarioParams, HTC_AMAZE_4G, SAMSUNG_GALAXY_S2};
+use thrifty::analytic::policy::{EncryptionMode, Policy};
+use thrifty::analytic::regression::SceneDistortion;
+use thrifty::crypto::Algorithm;
+use thrifty::energy::{CryptoLoad, SAMSUNG_GALAXY_S2_POWER};
+use thrifty::video::encoder::StatisticalEncoder;
+use thrifty::video::MotionLevel;
+use thrifty::{headline_metrics, PolicyAdvisor, PrivacyPreference};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scenario(motion: MotionLevel, gop: usize) -> ScenarioParams {
+    ScenarioParams::calibrated(motion, gop, SAMSUNG_GALAXY_S2, 5, 0.92)
+}
+
+/// Key result 1: selective encryption preserves confidentiality while
+/// reducing delay and energy substantially (the 75% / 92% headlines).
+#[test]
+fn headline_savings_hold() {
+    let advisor = PolicyAdvisor::calibrate(
+        MotionLevel::Low,
+        30,
+        SAMSUNG_GALAXY_S2,
+        Algorithm::TripleDes,
+    );
+    let h = headline_metrics(MotionLevel::Low, &advisor);
+    assert!(
+        h.delay_reduction > 0.4,
+        "delay reduction {} should be large (paper: up to 75%)",
+        h.delay_reduction
+    );
+    assert!(
+        h.energy_savings > 0.8,
+        "energy savings {} should be large (paper: up to 92%)",
+        h.energy_savings
+    );
+    // Confidentiality: balanced policy leaves the eavesdropper at MOS ≈ 1.
+    assert!(h.balanced_mos < 1.4);
+}
+
+/// Key result 2: what to encrypt depends on the content. I-encryption
+/// distorts slow motion more; P-encryption distorts fast motion more.
+#[test]
+fn content_dependence_of_the_right_policy() {
+    for gop in [30usize, 50] {
+        let slow_params = scenario(MotionLevel::Low, gop);
+        let fast_params = scenario(MotionLevel::High, gop);
+        let slow_scene = SceneDistortion::measure(MotionLevel::Low, 60, 12, 5);
+        let fast_scene = SceneDistortion::measure(MotionLevel::High, 60, 12, 5);
+        let slow = DistortionModel::new(&slow_params, &slow_scene);
+        let fast = DistortionModel::new(&fast_params, &fast_scene);
+        let psnr = |m: &DistortionModel, mode| {
+            m.predict(Policy::new(Algorithm::Aes256, mode), Observer::Eavesdropper)
+                .psnr_db
+        };
+        // Relative PSNR drop from the eavesdropper's own baseline.
+        let drop = |m: &DistortionModel, mode| {
+            let base = psnr(m, EncryptionMode::None);
+            (base - psnr(m, mode)) / base
+        };
+        assert!(
+            drop(&slow, EncryptionMode::IFrames) > drop(&fast, EncryptionMode::IFrames),
+            "GOP {gop}: I-encryption must hurt slow motion relatively more"
+        );
+        assert!(
+            drop(&fast, EncryptionMode::PFrames) > drop(&slow, EncryptionMode::PFrames),
+            "GOP {gop}: P-encryption must hurt fast motion relatively more"
+        );
+    }
+}
+
+/// Key result 3: slow motion needs only I-frames; fast motion needs
+/// I + ≈20% of P packets; the fast-motion savings are smaller.
+#[test]
+fn recommended_policies_match_section_6_2() {
+    let slow = PolicyAdvisor::calibrate(MotionLevel::Low, 30, SAMSUNG_GALAXY_S2, Algorithm::Aes256);
+    let fast =
+        PolicyAdvisor::calibrate(MotionLevel::High, 30, SAMSUNG_GALAXY_S2, Algorithm::Aes256);
+    assert_eq!(
+        slow.recommend(PrivacyPreference::Balanced).policy.mode,
+        EncryptionMode::IFrames
+    );
+    match fast.recommend(PrivacyPreference::Balanced).policy.mode {
+        EncryptionMode::IPlusFractionP(alpha) => {
+            assert!((0.1..=0.3).contains(&alpha), "alpha {alpha} ≈ 20%")
+        }
+        other => panic!("fast motion should need a P fraction, got {other}"),
+    }
+    let h_slow = headline_metrics(MotionLevel::Low, &slow);
+    let h_fast = headline_metrics(MotionLevel::High, &fast);
+    assert!(h_fast.energy_savings < h_slow.energy_savings);
+}
+
+/// Figure 7/8 orderings: none < I < P ≤ all; 3DES slowest; HTC faster.
+#[test]
+fn delay_orderings_across_devices_and_ciphers() {
+    for motion in [MotionLevel::Low, MotionLevel::High] {
+        let params = scenario(motion, 30);
+        let model = DelayModel::new(&params);
+        for alg in Algorithm::ALL {
+            let d = |mode| {
+                model
+                    .predict(Policy::new(alg, mode))
+                    .unwrap()
+                    .mean_delay_s
+            };
+            let none = d(EncryptionMode::None);
+            let i = d(EncryptionMode::IFrames);
+            let p = d(EncryptionMode::PFrames);
+            let all = d(EncryptionMode::All);
+            assert!(none < i && i < p && p <= all, "{motion}/{alg}");
+        }
+        let aes = model
+            .predict(Policy::new(Algorithm::Aes256, EncryptionMode::All))
+            .unwrap()
+            .mean_delay_s;
+        let tdes = model
+            .predict(Policy::new(Algorithm::TripleDes, EncryptionMode::All))
+            .unwrap()
+            .mean_delay_s;
+        assert!(tdes > aes, "{motion}: 3DES must dominate");
+    }
+    // HTC (faster CPU) beats Samsung at the same arrival pacing.
+    let s2 = scenario(MotionLevel::High, 30);
+    let mut htc = ScenarioParams::calibrated(MotionLevel::High, 30, HTC_AMAZE_4G, 5, 0.92);
+    htc.mmpp = s2.mmpp;
+    let p = Policy::new(Algorithm::TripleDes, EncryptionMode::All);
+    assert!(
+        DelayModel::new(&htc).predict(p).unwrap().mean_delay_s
+            < DelayModel::new(&s2).predict(p).unwrap().mean_delay_s
+    );
+}
+
+/// Section 6.2's half-I probe: encrypting 50% of I packets does not protect
+/// better than the P-only policy — it leaks like P does.
+#[test]
+fn half_i_is_not_enough() {
+    let params = scenario(MotionLevel::Low, 30);
+    let scene = SceneDistortion::measure(MotionLevel::Low, 60, 12, 5);
+    let model = DistortionModel::new(&params, &scene);
+    let half_i = model.predict(
+        Policy::new(Algorithm::Aes256, EncryptionMode::FractionI(0.5)),
+        Observer::Eavesdropper,
+    );
+    let full_i = model.predict(
+        Policy::new(Algorithm::Aes256, EncryptionMode::IFrames),
+        Observer::Eavesdropper,
+    );
+    assert!(
+        half_i.psnr_db > full_i.psnr_db + 2.0,
+        "half-I {} must leak more than full-I {}",
+        half_i.psnr_db,
+        full_i.psnr_db
+    );
+}
+
+/// Power model coherence with the delay/distortion story: the recommended
+/// policies sit between none and all in energy, in the right order.
+#[test]
+fn power_interpolates_across_policies() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let stream = StatisticalEncoder::new(MotionLevel::High, 30).encode(300, &mut rng);
+    let w = |mode| {
+        SAMSUNG_GALAXY_S2_POWER.power_w(&CryptoLoad::from_stream(
+            &stream,
+            Policy::new(Algorithm::Aes256, mode),
+        ))
+    };
+    let none = w(EncryptionMode::None);
+    let i = w(EncryptionMode::IFrames);
+    let i20 = w(EncryptionMode::IPlusFractionP(0.2));
+    let all = w(EncryptionMode::All);
+    assert!(none < i && i < i20 && i20 < all);
+    // Paper §6.3: fast, I+20%P ⇒ ~26% energy saving vs all (2 W → 1.48 W).
+    let saving = 1.0 - (i20 - none) / (all - none);
+    assert!(
+        saving > 0.15,
+        "I+20%P should save a noticeable fraction vs all: {saving}"
+    );
+}

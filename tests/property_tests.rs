@@ -1,0 +1,335 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the whole stack.
+
+use proptest::prelude::*;
+use thrifty::analytic::policy::EncryptionMode;
+use thrifty::analytic::regression::fit_polynomial;
+use thrifty::crypto::{Algorithm, BlockCipher, SegmentCipher};
+use thrifty::net::wire::{RtpHeader, RtpPacket};
+use thrifty::queueing::mmpp::Mmpp2;
+use thrifty::queueing::service::{ServiceComponent, ServiceDistribution};
+use thrifty::video::nal::{parse_annex_b, write_annex_b, NalUnit, NalUnitType};
+use thrifty::video::packet::Packetizer;
+use thrifty::video::FrameType;
+
+fn algorithm() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::Aes128),
+        Just(Algorithm::Aes256),
+        Just(Algorithm::TripleDes),
+    ]
+}
+
+proptest! {
+    /// OFB segment encryption is an involution for every cipher, key,
+    /// sequence number and payload.
+    #[test]
+    fn segment_cipher_roundtrips(
+        alg in algorithm(),
+        key in proptest::array::uniform32(any::<u8>()),
+        seq in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let cipher = SegmentCipher::new(alg, &key).unwrap();
+        let mut buf = data.clone();
+        cipher.encrypt_segment(seq, &mut buf);
+        if data.len() >= 16 {
+            // Keystream must actually change non-trivial payloads.
+            prop_assert_ne!(&buf, &data);
+        }
+        cipher.decrypt_segment(seq, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// Block encrypt/decrypt are inverse for random blocks and keys.
+    #[test]
+    fn block_ciphers_invert(
+        key in proptest::array::uniform32(any::<u8>()),
+        block16 in proptest::array::uniform16(any::<u8>()),
+        block8 in proptest::array::uniform8(any::<u8>()),
+    ) {
+        let aes = thrifty::crypto::Aes256::new(&key);
+        let mut b = block16;
+        aes.encrypt_block(&mut b);
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block16);
+
+        let mut k24 = [0u8; 24];
+        k24.copy_from_slice(&key[..24]);
+        let tdes = thrifty::crypto::TripleDes::new(&k24);
+        let mut b = block8;
+        tdes.encrypt_block(&mut b);
+        tdes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block8);
+    }
+
+    /// Annex-B serialisation round-trips arbitrary payloads, including ones
+    /// full of start-code-like byte runs.
+    #[test]
+    fn nal_roundtrips(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(prop_oneof![Just(0u8), Just(1u8), Just(3u8), any::<u8>()], 0..300),
+            1..8,
+        ),
+        ref_idc in 0u8..4,
+    ) {
+        let units: Vec<NalUnit> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| NalUnit::new(
+                ref_idc,
+                if i % 2 == 0 { NalUnitType::IdrSlice } else { NalUnitType::NonIdrSlice },
+                p.clone(),
+            ))
+            .collect();
+        let stream = write_annex_b(&units);
+        let parsed = parse_annex_b(&stream).unwrap();
+        prop_assert_eq!(parsed, units);
+    }
+
+    /// RTP header fields survive the wire for all field values.
+    #[test]
+    fn rtp_roundtrips(
+        marker in any::<bool>(),
+        payload_type in 0u8..128,
+        sequence in any::<u16>(),
+        timestamp in any::<u32>(),
+        ssrc in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        let header = RtpHeader { marker, payload_type, sequence, timestamp, ssrc };
+        let wire = header.emit(&payload);
+        let pkt = RtpPacket::parse(wire.as_slice()).unwrap();
+        prop_assert_eq!(pkt.header(), header);
+        prop_assert_eq!(pkt.payload(), payload.as_slice());
+    }
+
+    /// The packetizer conserves bytes and respects the MTU for any frame
+    /// size distribution.
+    #[test]
+    fn packetizer_conserves_bytes(
+        sizes in proptest::collection::vec(0usize..40_000, 1..60),
+        mtu in 100usize..3000,
+    ) {
+        let frames: Vec<thrifty::video::encoder::EncodedFrame> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| thrifty::video::encoder::EncodedFrame {
+                index: i,
+                ftype: if i % 10 == 0 { FrameType::I } else { FrameType::P },
+                bytes,
+            })
+            .collect();
+        let stream = thrifty::video::encoder::EncodedStream {
+            frames,
+            gop_size: 10,
+            fps: 30.0,
+            motion: thrifty::video::MotionLevel::Medium,
+        };
+        let packets = Packetizer::new(mtu).packetize(&stream);
+        let total: usize = packets.iter().map(|p| p.bytes).sum();
+        prop_assert_eq!(total, stream.total_bytes());
+        prop_assert!(packets.iter().all(|p| p.bytes <= mtu));
+        // Fragment numbering is dense per frame.
+        for w in packets.windows(2) {
+            if w[0].frame_index == w[1].frame_index {
+                prop_assert_eq!(w[1].fragment, w[0].fragment + 1);
+            }
+        }
+    }
+
+    /// MMPP equilibrium is a proper distribution and a left null vector of
+    /// the generator, for all positive parameters.
+    #[test]
+    fn mmpp_equilibrium_invariants(
+        p1 in 0.01f64..1000.0,
+        p2 in 0.01f64..1000.0,
+        l1 in 0.0f64..10_000.0,
+        l2 in 0.0f64..10_000.0,
+    ) {
+        let m = Mmpp2::new(p1, p2, l1, l2);
+        let pi = m.equilibrium();
+        prop_assert!((pi[0] + pi[1] - 1.0).abs() < 1e-9);
+        prop_assert!(pi[0] >= 0.0 && pi[1] >= 0.0);
+        let res = m.generator().vec_mul(&pi);
+        prop_assert!(res[0].abs() < 1e-6 && res[1].abs() < 1e-6);
+        let rate = m.mean_rate();
+        prop_assert!(rate >= l1.min(l2) - 1e-9 && rate <= l1.max(l2) + 1e-9);
+    }
+
+    /// Service distributions: LST(0) = 1, mean matches derivative, and
+    /// moments are monotone under convolution.
+    #[test]
+    fn service_distribution_invariants(
+        mean1 in 1e-5f64..1e-2,
+        std1 in 0.0f64..1e-3,
+        mean2 in 1e-5f64..1e-2,
+        p_s in 0.3f64..1.0,
+        rate in 100.0f64..100_000.0,
+    ) {
+        let d = ServiceDistribution::gaussian(mean1, std1)
+            .plus(ServiceComponent::GaussianMixture(vec![(1.0, mean2, 0.0)]))
+            .plus(ServiceComponent::GeometricExponential { success_prob: p_s, rate });
+        prop_assert!((d.lst(0.0) - 1.0).abs() < 1e-9);
+        // Numeric derivative of the LST at 0 equals −mean.
+        let h = 1e-7 / d.mean().max(1e-6);
+        let deriv = (d.lst(h) - d.lst(-h)) / (2.0 * h);
+        prop_assert!((-deriv - d.mean()).abs() / d.mean() < 1e-3);
+        // E[T²] ≥ E[T]² (variance nonnegative).
+        prop_assert!(d.moment2() + 1e-18 >= d.mean() * d.mean());
+    }
+
+    /// Polynomial fitting interpolates exactly when exactly determined and
+    /// stays finite on the fitted range.
+    #[test]
+    fn polynomial_fit_interpolates(
+        ys in proptest::collection::vec(0.0f64..1e4, 4..10),
+    ) {
+        let xs: Vec<f64> = (1..=ys.len()).map(|i| i as f64).collect();
+        let degree = ys.len() - 1;
+        let p = fit_polynomial(&xs, &ys, degree.min(5));
+        for (&x, &y) in xs.iter().zip(ys.iter()) {
+            let v = p.eval(x);
+            prop_assert!(v.is_finite());
+            if degree <= 5 {
+                prop_assert!((v - y).abs() < 1e-3 * y.abs().max(1.0),
+                    "interpolation at {x}: {v} vs {y}");
+            }
+        }
+    }
+
+    /// CBC round-trips arbitrary payloads under every cipher, and the
+    /// ciphertext never leaks the plaintext prefix.
+    #[test]
+    fn cbc_roundtrips(
+        key in proptest::array::uniform32(any::<u8>()),
+        iv16 in proptest::array::uniform16(any::<u8>()),
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        use thrifty::crypto::{cbc_decrypt, cbc_encrypt, Aes256};
+        let cipher = Aes256::new(&key);
+        let ct = cbc_encrypt(&cipher, &iv16, &data);
+        prop_assert_eq!(ct.len() % 16, 0);
+        prop_assert!(ct.len() > data.len());
+        if data.len() >= 16 {
+            prop_assert_ne!(&ct[..16], &data[..16]);
+        }
+        prop_assert_eq!(cbc_decrypt(&cipher, &iv16, &ct).unwrap(), data);
+    }
+
+    /// CTR random access agrees with the sequential keystream at arbitrary
+    /// offsets.
+    #[test]
+    fn ctr_random_access(
+        key in proptest::array::uniform16(any::<u8>()),
+        iv in proptest::array::uniform16(any::<u8>()),
+        offset in 0usize..500,
+        len in 1usize..200,
+    ) {
+        use thrifty::crypto::{Aes128, Ctr};
+        let cipher = Aes128::new(&key);
+        let ctr = Ctr::new(&cipher, &iv);
+        let mut full = vec![0u8; offset + len];
+        ctr.apply(&mut full);
+        let mut fragment = vec![0u8; len];
+        ctr.apply_at(offset, &mut fragment);
+        prop_assert_eq!(&fragment, &full[offset..]);
+    }
+
+    /// Exp-Golomb codes round-trip arbitrary value sequences.
+    #[test]
+    fn exp_golomb_roundtrips(
+        ues in proptest::collection::vec(any::<u32>(), 1..50),
+        ses in proptest::collection::vec(-10_000i32..10_000, 1..50),
+    ) {
+        use thrifty::video::bitstream::{BitReader, BitWriter};
+        let mut w = BitWriter::new();
+        for &v in &ues {
+            // keep within the 32-bit code budget
+            w.put_ue(v / 2);
+        }
+        for &v in &ses {
+            w.put_se(v);
+        }
+        w.put_trailing_bits();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &ues {
+            prop_assert_eq!(r.ue().unwrap(), v / 2);
+        }
+        for &v in &ses {
+            prop_assert_eq!(r.se().unwrap(), v);
+        }
+    }
+
+    /// Padding policies never shrink payloads, never exceed the MTU cap,
+    /// and MTU padding makes every size identical.
+    #[test]
+    fn padding_policy_invariants(
+        sizes in proptest::collection::vec(1usize..1460, 1..100),
+        quantum in 1usize..1460,
+    ) {
+        use thrifty::net::traffic::PaddingPolicy;
+        let mtu = 1460;
+        for &b in &sizes {
+            for policy in [
+                PaddingPolicy::None,
+                PaddingPolicy::ToMtu,
+                PaddingPolicy::ToMultiple(quantum),
+            ] {
+                let padded = policy.padded_size(b, mtu);
+                prop_assert!(padded >= b, "{policy:?} shrank {b} to {padded}");
+                prop_assert!(padded <= mtu.max(b));
+            }
+            prop_assert_eq!(PaddingPolicy::ToMtu.padded_size(b, mtu), mtu);
+        }
+        let overhead = PaddingPolicy::ToMultiple(quantum).overhead(&sizes, mtu);
+        prop_assert!(overhead >= 0.0);
+    }
+
+    /// The waiting-time CDF from transform inversion is monotone in t for
+    /// random stable queues.
+    #[test]
+    fn wait_cdf_is_monotone(
+        lambda in 10.0f64..200.0,
+        mean_service in 1e-4f64..4e-3,
+    ) {
+        use thrifty::queueing::inversion::WaitDistribution;
+        use thrifty::queueing::mmpp::Mmpp2;
+        use thrifty::queueing::service::ServiceDistribution;
+        use thrifty::queueing::solver::MmppG1;
+        prop_assume!(lambda * mean_service < 0.85); // keep the queue stable
+        let mmpp = Mmpp2::poisson(lambda);
+        let service = ServiceDistribution::gaussian(mean_service, mean_service / 10.0);
+        let solution = MmppG1::new(mmpp, service.clone()).solve().unwrap();
+        let dist = WaitDistribution::new(&mmpp, &service, &solution);
+        let mut last = -1e-6;
+        for t in [1e-4, 1e-3, 5e-3, 2e-2, 1e-1] {
+            let f = dist.cdf(t);
+            prop_assert!((0.0..=1.0).contains(&f));
+            // Allow the sub-1e-3 Gibbs ripple the inversion leaves near
+            // the W = 0 atom of lightly loaded queues.
+            prop_assert!(f >= last - 2e-3, "CDF not monotone at t={t}");
+            last = f;
+        }
+    }
+
+    /// Encrypted fraction q^(P) is a probability and monotone in α.
+    #[test]
+    fn encrypted_fraction_is_probability(p_i in 0.0f64..=1.0, alpha in 0.0f64..=1.0) {
+        for mode in [
+            EncryptionMode::None,
+            EncryptionMode::All,
+            EncryptionMode::IFrames,
+            EncryptionMode::PFrames,
+            EncryptionMode::IPlusFractionP(alpha),
+            EncryptionMode::FractionI(alpha),
+        ] {
+            let q = mode.encrypted_fraction(p_i);
+            prop_assert!((0.0..=1.0).contains(&q), "{mode}: {q}");
+        }
+        let q1 = EncryptionMode::IPlusFractionP(alpha * 0.5).encrypted_fraction(p_i);
+        let q2 = EncryptionMode::IPlusFractionP(alpha).encrypted_fraction(p_i);
+        prop_assert!(q2 >= q1 - 1e-12);
+    }
+}
