@@ -1,0 +1,306 @@
+//! Offline mini benchmark harness exposing the subset of the `criterion`
+//! API this workspace's benches use. The build environment cannot fetch
+//! crates.io, so the real criterion is unavailable; this crate actually
+//! *measures* — per-iteration wall time with warm-up and an adaptive
+//! iteration count — and prints one line per benchmark:
+//!
+//! ```text
+//! cipher_throughput_mtu_segment/AES128  time: 2.104 µs/iter  thrpt: 694.3 MB/s
+//! ```
+//!
+//! Recognised CLI arguments (others, e.g. cargo's `--bench`, are ignored):
+//! * `--test` — smoke mode: run every benchmark body once, skip timing.
+//! * any bare string — substring filter on the benchmark id.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimiser from deleting benchmark work.
+///
+/// Without `unsafe`/`asm` the strongest portable barrier is a volatile-less
+/// read through `std::hint::black_box`, re-exported here.
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    smoke: bool,
+}
+
+impl Bencher {
+    /// Call `f` repeatedly and record the total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            self.elapsed = Duration::from_nanos(1);
+            self.iters = 1;
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark registry and configuration, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    /// Substring filters from the command line (empty = run everything).
+    filters: Vec<String>,
+    /// Smoke mode (`--test`): execute once, no timing.
+    smoke: bool,
+    /// Target measurement time per benchmark.
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filters: Vec::new(),
+            smoke: false,
+            measure: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the harness is time-budgeted, so the
+    /// sample count is folded into the measurement budget.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Parse recognised CLI arguments (`--test`, bare filters).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.smoke = true,
+                s if s.starts_with("--") => {} // cargo/criterion flags: ignore
+                s => self.filters.push(s.to_string()),
+            }
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let smoke = self.smoke;
+        let measure = self.measure;
+        if self.matches(id) {
+            run_one(id, None, smoke, measure, f);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility (see [`Criterion::sample_size`]).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.matches(&full) {
+            run_one(
+                &full,
+                self.throughput,
+                self.criterion.smoke,
+                self.criterion.measure,
+                f,
+            );
+        }
+        self
+    }
+
+    /// Close the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    smoke: bool,
+    measure: Duration,
+    mut f: F,
+) {
+    if smoke {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            smoke: true,
+        };
+        f(&mut b);
+        println!("{id}  ... ok (smoke)");
+        return;
+    }
+    // Calibration: find an iteration count filling the measurement budget.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+            smoke: false,
+        };
+        f(&mut b);
+        let per = b.elapsed.as_secs_f64() / iters as f64;
+        if b.elapsed >= Duration::from_millis(20) || iters >= 1 << 24 {
+            break per;
+        }
+        iters = (iters * 4).min(1 << 24);
+    };
+    // Measurement: 3 batches at the calibrated count, keep the fastest
+    // (the usual minimum-of-batches noise rejection).
+    let batch = ((measure.as_secs_f64() / 3.0 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+            smoke: false,
+        };
+        f(&mut b);
+        best = best.min(b.elapsed.as_secs_f64() / batch as f64);
+    }
+    let time = format_time(best);
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mbs = n as f64 / best / 1e6;
+            println!("{id}  time: {time}/iter  thrpt: {mbs:.1} MB/s");
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / best;
+            println!("{id}  time: {time}/iter  thrpt: {eps:.0} elem/s");
+        }
+        None => println!("{id}  time: {time}/iter"),
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Define a benchmark group function, in either criterion macro form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main()` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+            smoke: false,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 10);
+        assert!(b.elapsed > Duration::ZERO || calls == 10);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 999,
+            elapsed: Duration::ZERO,
+            smoke: true,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let c = Criterion {
+            filters: vec!["aes".into()],
+            smoke: false,
+            measure: Duration::from_millis(1),
+        };
+        assert!(c.matches("group/aes128"));
+        assert!(!c.matches("group/3des"));
+        let open = Criterion::default();
+        assert!(open.matches("anything"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Offline drop-in for the subset of the `crossbeam` API this workspace
+//! uses: `crossbeam::channel::{bounded, unbounded}` MPSC channels. The
+//! build environment cannot fetch crates.io, so the real crate is
+//! unavailable; `std::sync::mpsc` supplies the semantics the simulator
+//! needs (blocking bounded sends for producer backpressure, FIFO order).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Multi-producer channels in the style of `crossbeam-channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel. Cloneable; all clones feed one receiver.
+    pub struct Sender<T>(Tx<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking while a bounded channel is full.
+        ///
+        /// Returns `Err` with the value if the receiving side disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Tx::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                Tx::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Drain the channel as an iterator until all senders disconnect.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    /// A bounded FIFO channel with capacity `cap` (sends block when full).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_roundtrip_and_disconnect() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        tx.send(1).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn bounded_applies_backpressure_across_threads() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+}

@@ -1,0 +1,397 @@
+//! Offline mini property-testing harness exposing the subset of the
+//! `proptest` API this workspace uses. The build environment cannot fetch
+//! crates.io, so the real proptest is unavailable.
+//!
+//! What is kept: the [`Strategy`] abstraction (ranges, [`Just`],
+//! `any::<T>()`, `prop_oneof!`, `collection::vec`, `array::uniform*`), the
+//! [`proptest!`] test macro, `prop_assert*` / `prop_assume!`, deterministic
+//! per-test seeding, and a `PROPTEST_CASES` env override. What is dropped:
+//! shrinking — a failing case reports the case number and seed instead of a
+//! minimised input, which is enough to reproduce (the seed is derived from
+//! the test name, so reruns hit the same inputs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; draw a fresh case.
+    Reject,
+}
+
+/// Result type each generated test case body returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of random values of one type.
+///
+/// Object-safe so heterogeneous strategies can be boxed by `prop_oneof!`.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value of the type.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Finite values only; the workspace's properties expect numbers.
+        rng.gen_range(-1e9..1e9)
+    }
+}
+
+/// Strategy for `any::<T>()`.
+pub struct Any<T: Arbitrary>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Uniform choice among boxed strategies (built by `prop_oneof!`).
+pub struct OneOf<V> {
+    /// The candidate strategies; each sample picks one uniformly.
+    pub choices: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let i = rng.gen_range(0..self.choices.len());
+        self.choices[i].sample(rng)
+    }
+}
+
+/// Uniform choice among the listed strategies (all yielding one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf {
+            choices: vec![
+                $(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+
+            ],
+        }
+    };
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Fixed-size array strategies (`proptest::array`).
+pub mod array {
+    use super::{StdRng, Strategy};
+
+    /// Strategy for `[S::Value; N]`.
+    pub struct UniformArray<S: Strategy, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn sample(&self, rng: &mut StdRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.0.sample(rng))
+        }
+    }
+
+    /// Arrays of 8 values drawn from `s`.
+    pub fn uniform8<S: Strategy>(s: S) -> UniformArray<S, 8> {
+        UniformArray(s)
+    }
+
+    /// Arrays of 16 values drawn from `s`.
+    pub fn uniform16<S: Strategy>(s: S) -> UniformArray<S, 16> {
+        UniformArray(s)
+    }
+
+    /// Arrays of 32 values drawn from `s`.
+    pub fn uniform32<S: Strategy>(s: S) -> UniformArray<S, 32> {
+        UniformArray(s)
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a of the test's name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drive one property: sample inputs, run the body, tally rejections.
+///
+/// Called by the [`proptest!`]-generated test functions.
+pub fn run_property(name: &str, body: &mut dyn FnMut(&mut StdRng) -> TestCaseResult) {
+    use rand::SeedableRng;
+    let n = cases();
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < n {
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= n.saturating_mul(64),
+                    "{name}: too many prop_assume! rejections ({rejected}) — \
+                     strategy and assumption are incompatible"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{name}: property falsified at case {passed} \
+                     (seed {:#x}, {rejected} rejects): {msg}",
+                    seed_for(name)
+                );
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, array, collection, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume,
+        prop_oneof, proptest, Arbitrary, Just, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+// Re-export at the crate root too (`use proptest::prelude::*` brings the
+// macros in via `#[macro_export]`, which always lands at the root).
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{} != {}", stringify!($a), stringify!($b)
+            )));
+        }
+    }};
+}
+
+/// Fail the current case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{} == {}", stringify!($a), stringify!($b)
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (doesn't count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests: each `fn name(args in strategies) { body }`
+/// becomes a `#[test]` running [`cases`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property(stringify!($name), &mut |__proptest_rng| {
+                $(
+                    let $arg = $crate::Strategy::sample(&($strategy), __proptest_rng);
+                )+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn parity() -> impl Strategy<Value = u8> {
+        prop_oneof![Just(0u8), Just(1u8), 10u8..20]
+    }
+
+    proptest! {
+        /// Sampled values respect their strategies.
+        #[test]
+        fn strategies_respect_domains(
+            x in 5usize..10,
+            f in 0.0f64..=1.0,
+            v in collection::vec(any::<u8>(), 2..6),
+            arr in array::uniform16(any::<u8>()),
+            p in parity(),
+        ) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(arr.len(), 16);
+            prop_assert!(p == 0 || p == 1 || (10..20).contains(&p), "p={}", p);
+        }
+
+        /// Assumptions reject without failing.
+        #[test]
+        fn assumptions_reject(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n % 2, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property falsified")]
+    fn failures_panic_with_context() {
+        crate::run_property("always_fails", &mut |_rng| {
+            Err(crate::TestCaseError::Fail("expected".into()))
+        });
+    }
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+        assert_eq!(crate::seed_for("a"), crate::seed_for("a"));
+    }
+}

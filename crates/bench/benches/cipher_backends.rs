@@ -1,0 +1,78 @@
+//! Reference vs fast cipher backend on MTU-sized segments — the
+//! measurement behind the Performance section of the README and the
+//! `relative_cost` recalibration note in EXPERIMENTS.md.
+//!
+//! Besides timing each (algorithm × backend) pair, the harness ends with a
+//! sanity gate: the fast backend must beat the reference one for every
+//! algorithm, and fast 3DES (the pair with the widest measured gap) must
+//! hold at least a 4× lead. The gate runs in smoke mode too, so
+//! `cargo bench -p thrifty-bench -- --test` catches a fast path that
+//! quietly regressed to reference speed.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use thrifty::crypto::{Algorithm, CipherBackend, SegmentCipher};
+use thrifty_bench::{measure_cipher_throughput, SEGMENT_LEN};
+
+fn backend_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cipher_backends_1452B_segment");
+    group.throughput(Throughput::Bytes(SEGMENT_LEN as u64));
+    let key = [7u8; 32];
+    for alg in Algorithm::ALL {
+        for backend in CipherBackend::ALL {
+            let cipher = SegmentCipher::with_backend(alg, &key, backend).unwrap();
+            let id = format!("{}/{}", alg.name(), backend.name());
+            group.bench_function(&id, |b| {
+                let mut buf = vec![0xA5u8; SEGMENT_LEN];
+                b.iter(|| {
+                    cipher.encrypt_segment(black_box(42), &mut buf);
+                    black_box(&buf);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn backend_ratio_gate(_c: &mut Criterion) {
+    let measured = measure_cipher_throughput(SEGMENT_LEN, Duration::from_millis(60));
+    let rate = |alg: Algorithm, backend: CipherBackend| {
+        measured
+            .iter()
+            .find(|m| m.algorithm == alg && m.backend == backend)
+            .expect("matrix covers every pair")
+            .bytes_per_sec
+    };
+    for alg in Algorithm::ALL {
+        let fast = rate(alg, CipherBackend::Fast);
+        let reference = rate(alg, CipherBackend::Reference);
+        println!(
+            "backend_ratio/{}: fast {:.1} MB/s vs reference {:.1} MB/s ({:.1}x)",
+            alg.name(),
+            fast / 1e6,
+            reference / 1e6,
+            fast / reference
+        );
+        assert!(
+            fast > reference,
+            "{}: fast backend ({fast:.0} B/s) must outrun reference ({reference:.0} B/s)",
+            alg.name()
+        );
+    }
+    // The widest measured gap (≈11× on x86): keep generous slack so the
+    // gate only fires on a real fast-path regression, not timer noise.
+    let fast_3des = rate(Algorithm::TripleDes, CipherBackend::Fast);
+    let ref_3des = rate(Algorithm::TripleDes, CipherBackend::Reference);
+    assert!(
+        fast_3des >= 4.0 * ref_3des,
+        "fast 3DES lost its table-driven lead: {fast_3des:.0} vs {ref_3des:.0} B/s"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(Duration::from_millis(200));
+    targets = backend_matrix, backend_ratio_gate
+}
+criterion_main!(benches);

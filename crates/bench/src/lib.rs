@@ -11,9 +11,22 @@
 //! a simulator, not two 2011 Android phones on a live WLAN — but the
 //! *shape* is: who wins, by roughly what factor, and where the crossovers
 //! fall.
+//!
+//! Every table is a cartesian product of independent cells (each cell seeds
+//! its own RNG), so the generators evaluate cells through [`par_map`] and a
+//! multi-core host fills a table in roughly the wall time of its slowest
+//! cell — without changing a single output value.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod parallel;
+pub mod throughput;
+
+pub use parallel::{par_flat_map, par_map};
+pub use throughput::{
+    bench_cipher_json, measure_cipher_throughput, CipherThroughput, SEGMENT_LEN,
+};
 
 use thrifty::analytic::delay::DelayModel;
 use thrifty::analytic::distortion::{DistortionModel, Observer};
@@ -174,22 +187,25 @@ fn format_value(v: f64) -> String {
 /// Figure 2: average distortion (MSE) vs reference distance for the three
 /// motion classes, with the degree-5 fit beside the measurement.
 pub fn fig2() -> Table {
-    let mut rows = Vec::new();
-    for motion in MotionLevel::ALL {
+    let rows = par_flat_map(&MotionLevel::ALL, |&motion| {
         let clip = SceneGenerator::new(SceneConfig::new(motion, 42)).clip(60);
         let measured = distortion_vs_distance(&clip, 4);
         let scene = SceneDistortion::measure(motion, 60, 4, 42);
-        for (i, &mse) in measured.iter().enumerate() {
-            let d = (i + 1) as f64;
-            rows.push(Row {
-                label: format!("{motion} motion, distance {d}"),
-                values: vec![
-                    ("measured MSE".into(), mse),
-                    ("degree-5 fit".into(), scene.polynomial.eval(d)),
-                ],
-            });
-        }
-    }
+        measured
+            .iter()
+            .enumerate()
+            .map(|(i, &mse)| {
+                let d = (i + 1) as f64;
+                Row {
+                    label: format!("{motion} motion, distance {d}"),
+                    values: vec![
+                        ("measured MSE".into(), mse),
+                        ("degree-5 fit".into(), scene.polynomial.eval(d)),
+                    ],
+                }
+            })
+            .collect()
+    });
     Table {
         title: "Figure 2 — distortion vs reference distance".into(),
         caption: "Paper: distortion grows with substitution distance and with motion level; \
@@ -201,34 +217,39 @@ pub fn fig2() -> Table {
 
 /// Figures 4a–4d: eavesdropper PSNR per policy, analysis vs experiment.
 pub fn fig4(gop: usize, effort: Effort) -> Table {
-    let mut rows = Vec::new();
-    for (label, motion) in MOTIONS {
+    let cells: Vec<_> = MOTIONS
+        .iter()
+        .flat_map(|&(label, motion)| {
+            EncryptionMode::TABLE1
+                .into_iter()
+                .map(move |mode| (label, motion, mode))
+        })
+        .collect();
+    let rows = par_map(&cells, |&(label, motion, mode)| {
         let scene = SceneDistortion::measure(motion, 60, 12, 11);
-        for mode in EncryptionMode::TABLE1 {
-            let policy = Policy::new(Algorithm::Aes256, mode);
-            let cfg = cell(
-                motion,
-                gop,
-                policy,
-                SAMSUNG_GALAXY_S2,
-                SAMSUNG_GALAXY_S2_POWER,
-                Transport::RtpUdp,
-                effort,
-            );
-            let exp = Experiment::prepare(cfg);
-            let analysis =
-                DistortionModel::new(&exp.params, &scene).predict(policy, Observer::Eavesdropper);
-            let result = exp.run();
-            rows.push(Row {
-                label: format!("{label}, {}", mode.label()),
-                values: vec![
-                    ("analysis PSNR (dB)".into(), analysis.psnr_db),
-                    ("experiment PSNR (dB)".into(), result.psnr_eve_db.mean),
-                    ("±95% CI".into(), result.psnr_eve_db.ci95),
-                ],
-            });
+        let policy = Policy::new(Algorithm::Aes256, mode);
+        let cfg = cell(
+            motion,
+            gop,
+            policy,
+            SAMSUNG_GALAXY_S2,
+            SAMSUNG_GALAXY_S2_POWER,
+            Transport::RtpUdp,
+            effort,
+        );
+        let exp = Experiment::prepare(cfg);
+        let analysis =
+            DistortionModel::new(&exp.params, &scene).predict(policy, Observer::Eavesdropper);
+        let result = exp.run();
+        Row {
+            label: format!("{label}, {}", mode.label()),
+            values: vec![
+                ("analysis PSNR (dB)".into(), analysis.psnr_db),
+                ("experiment PSNR (dB)".into(), result.psnr_eve_db.mean),
+                ("±95% CI".into(), result.psnr_eve_db.ci95),
+            ],
         }
-    }
+    });
     Table {
         title: format!("Figure 4 — eavesdropper distortion, GOP={gop}"),
         caption: "Paper: I-encryption floors slow-motion quality (≈80% drop) and hurts \
@@ -241,29 +262,34 @@ pub fn fig4(gop: usize, effort: Effort) -> Table {
 
 /// Figure 5: eavesdropper MOS per policy (experiment, like the paper).
 pub fn fig5(gop: usize, effort: Effort) -> Table {
-    let mut rows = Vec::new();
-    for (label, motion) in MOTIONS {
-        for mode in EncryptionMode::TABLE1 {
-            let policy = Policy::new(Algorithm::Aes256, mode);
-            let cfg = cell(
-                motion,
-                gop,
-                policy,
-                SAMSUNG_GALAXY_S2,
-                SAMSUNG_GALAXY_S2_POWER,
-                Transport::RtpUdp,
-                effort,
-            );
-            let result = Experiment::prepare(cfg).run();
-            rows.push(Row {
-                label: format!("{label}, {}", mode.label()),
-                values: vec![
-                    ("MOS".into(), result.mos_eve.mean),
-                    ("±95% CI".into(), result.mos_eve.ci95),
-                ],
-            });
+    let cells: Vec<_> = MOTIONS
+        .iter()
+        .flat_map(|&(label, motion)| {
+            EncryptionMode::TABLE1
+                .into_iter()
+                .map(move |mode| (label, motion, mode))
+        })
+        .collect();
+    let rows = par_map(&cells, |&(label, motion, mode)| {
+        let policy = Policy::new(Algorithm::Aes256, mode);
+        let cfg = cell(
+            motion,
+            gop,
+            policy,
+            SAMSUNG_GALAXY_S2,
+            SAMSUNG_GALAXY_S2_POWER,
+            Transport::RtpUdp,
+            effort,
+        );
+        let result = Experiment::prepare(cfg).run();
+        Row {
+            label: format!("{label}, {}", mode.label()),
+            values: vec![
+                ("MOS".into(), result.mos_eve.mean),
+                ("±95% CI".into(), result.mos_eve.ci95),
+            ],
         }
-    }
+    });
     Table {
         title: format!("Figure 5 — eavesdropper Mean Opinion Score, GOP={gop}"),
         caption: "Paper: MOS drops to ≈1 (unviewable) for every partially encrypted flow."
@@ -275,36 +301,31 @@ pub fn fig5(gop: usize, effort: Effort) -> Table {
 /// Figures 7 (Samsung) and 8 (HTC): per-packet delay, analysis vs
 /// experiment, for AES-256 and 3DES at both GOP sizes.
 pub fn fig7_8(device: DeviceSpec, power: PowerProfile, effort: Effort) -> Table {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for alg in [Algorithm::Aes256, Algorithm::TripleDes] {
         for gop in GOPS {
             for (label, motion) in MOTIONS {
                 for mode in EncryptionMode::TABLE1 {
-                    let policy = Policy::new(alg, mode);
-                    let cfg = cell(
-                        motion,
-                        gop,
-                        policy,
-                        device,
-                        power,
-                        Transport::RtpUdp,
-                        effort,
-                    );
-                    let exp = Experiment::prepare(cfg);
-                    let analysis = DelayModel::new(&exp.params).predict(policy).unwrap();
-                    let result = exp.run();
-                    rows.push(Row {
-                        label: format!("{alg}, GOP {gop}, {label}, {}", mode.label()),
-                        values: vec![
-                            ("analysis delay (ms)".into(), analysis.mean_delay_s * 1e3),
-                            ("experiment delay (ms)".into(), result.delay_s.mean * 1e3),
-                            ("±95% CI (ms)".into(), result.delay_s.ci95 * 1e3),
-                        ],
-                    });
+                    cells.push((alg, gop, label, motion, mode));
                 }
             }
         }
     }
+    let rows = par_map(&cells, |&(alg, gop, label, motion, mode)| {
+        let policy = Policy::new(alg, mode);
+        let cfg = cell(motion, gop, policy, device, power, Transport::RtpUdp, effort);
+        let exp = Experiment::prepare(cfg);
+        let analysis = DelayModel::new(&exp.params).predict(policy).unwrap();
+        let result = exp.run();
+        Row {
+            label: format!("{alg}, GOP {gop}, {label}, {}", mode.label()),
+            values: vec![
+                ("analysis delay (ms)".into(), analysis.mean_delay_s * 1e3),
+                ("experiment delay (ms)".into(), result.delay_s.mean * 1e3),
+                ("±95% CI (ms)".into(), result.delay_s.ci95 * 1e3),
+            ],
+        }
+    });
     Table {
         title: format!("Figures 7/8 — per-packet delay on the {}", device.name),
         caption: "Paper: delay(none) < delay(I) < delay(P) ≤ delay(all); 3DES dominates \
@@ -316,31 +337,34 @@ pub fn fig7_8(device: DeviceSpec, power: PowerProfile, effort: Effort) -> Table 
 
 /// Figure 9a: delay vs fraction α of P packets encrypted on top of I.
 pub fn fig9(effort: Effort) -> Table {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for (dev, pow) in [
         (SAMSUNG_GALAXY_S2, SAMSUNG_GALAXY_S2_POWER),
         (HTC_AMAZE_4G, HTC_AMAZE_4G_POWER),
     ] {
         for alg in Algorithm::ALL {
             for alpha in [0.10, 0.15, 0.20, 0.25, 0.30, 0.50] {
-                let policy = Policy::new(alg, EncryptionMode::IPlusFractionP(alpha));
-                let cfg = cell(
-                    MotionLevel::High,
-                    30,
-                    policy,
-                    dev,
-                    pow,
-                    Transport::RtpUdp,
-                    effort,
-                );
-                let result = Experiment::prepare(cfg).run();
-                rows.push(Row {
-                    label: format!("{}, {alg}, α={:.0}%", dev.name, alpha * 100.0),
-                    values: vec![("delay (ms)".into(), result.delay_s.mean * 1e3)],
-                });
+                cells.push((dev, pow, alg, alpha));
             }
         }
     }
+    let rows = par_map(&cells, |&(dev, pow, alg, alpha)| {
+        let policy = Policy::new(alg, EncryptionMode::IPlusFractionP(alpha));
+        let cfg = cell(
+            MotionLevel::High,
+            30,
+            policy,
+            dev,
+            pow,
+            Transport::RtpUdp,
+            effort,
+        );
+        let result = Experiment::prepare(cfg).run();
+        Row {
+            label: format!("{}, {alg}, α={:.0}%", dev.name, alpha * 100.0),
+            values: vec![("delay (ms)".into(), result.delay_s.mean * 1e3)],
+        }
+    });
     Table {
         title: "Figure 9a — upload latency, I + α·P encryption (fast motion, GOP 30)".into(),
         caption: "Paper: latency grows gently with α; 3DES > AES256 > AES128; \
@@ -352,9 +376,8 @@ pub fn fig9(effort: Effort) -> Table {
 
 /// Table 2: delay / PSNR / MOS for I and I+α%P on the Samsung (fast, GOP 30).
 pub fn table2(effort: Effort) -> Table {
-    let mut rows = Vec::new();
     let alphas = [0.0, 0.10, 0.15, 0.20, 0.25, 0.30, 0.50];
-    for alpha in alphas {
+    let rows = par_map(&alphas, |&alpha| {
         let mode = if alpha == 0.0 {
             EncryptionMode::IFrames
         } else {
@@ -371,15 +394,15 @@ pub fn table2(effort: Effort) -> Table {
             effort,
         );
         let result = Experiment::prepare(cfg).run();
-        rows.push(Row {
+        Row {
             label: mode.label(),
             values: vec![
                 ("delay (ms)".into(), result.delay_s.mean * 1e3),
                 ("eavesdropper PSNR (dB)".into(), result.psnr_eve_db.mean),
                 ("eavesdropper MOS".into(), result.mos_eve.mean),
             ],
-        });
-    }
+        }
+    });
     Table {
         title: "Table 2 — delay vs distortion, I + α·P (Samsung, fast, GOP 30)".into(),
         caption: "Paper: delay creeps from 48→62 ms while PSNR falls 20.7→16.0 dB and \
@@ -391,38 +414,41 @@ pub fn table2(effort: Effort) -> Table {
 
 /// Figures 10 (Samsung) and 11 (HTC): power per policy/GOP/motion/cipher.
 pub fn fig10_11(power: PowerProfile, effort: Effort) -> Table {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for (label, motion) in MOTIONS {
         for alg in [Algorithm::Aes256, Algorithm::TripleDes] {
             for gop in GOPS {
                 for mode in EncryptionMode::TABLE1 {
-                    let policy = Policy::new(alg, mode);
-                    // Power needs only the stream + policy, not trials.
-                    let cfg = cell(
-                        motion,
-                        gop,
-                        policy,
-                        SAMSUNG_GALAXY_S2,
-                        power,
-                        Transport::RtpUdp,
-                        effort,
-                    );
-                    let exp = Experiment::prepare(cfg);
-                    let load = CryptoLoad::from_stream(exp.stream(), policy);
-                    rows.push(Row {
-                        label: format!("{label}, {alg}, GOP {gop}, {}", mode.label()),
-                        values: vec![
-                            ("power (W)".into(), power.power_w(&load)),
-                            (
-                                "increase vs none (%)".into(),
-                                power.relative_increase(&load) * 100.0,
-                            ),
-                        ],
-                    });
+                    cells.push((label, motion, alg, gop, mode));
                 }
             }
         }
     }
+    let rows = par_map(&cells, |&(label, motion, alg, gop, mode)| {
+        let policy = Policy::new(alg, mode);
+        // Power needs only the stream + policy, not trials.
+        let cfg = cell(
+            motion,
+            gop,
+            policy,
+            SAMSUNG_GALAXY_S2,
+            power,
+            Transport::RtpUdp,
+            effort,
+        );
+        let exp = Experiment::prepare(cfg);
+        let load = CryptoLoad::from_stream(exp.stream(), policy);
+        Row {
+            label: format!("{label}, {alg}, GOP {gop}, {}", mode.label()),
+            values: vec![
+                ("power (W)".into(), power.power_w(&load)),
+                (
+                    "increase vs none (%)".into(),
+                    power.relative_increase(&load) * 100.0,
+                ),
+            ],
+        }
+    });
     Table {
         title: format!("Figures 10/11 — power consumption on the {}", power.name),
         caption: "Paper: none < I < P < all; Samsung slow-motion worst case +140% (all) vs \
@@ -434,25 +460,28 @@ pub fn fig10_11(power: PowerProfile, effort: Effort) -> Table {
 
 /// Figures 12/13: per-packet delay with HTTP/TCP.
 pub fn fig12_13(device: DeviceSpec, power: PowerProfile, effort: Effort) -> Table {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for alg in [Algorithm::Aes256, Algorithm::TripleDes] {
         for gop in GOPS {
             for (label, motion) in MOTIONS {
                 for mode in EncryptionMode::TABLE1 {
-                    let policy = Policy::new(alg, mode);
-                    let cfg = cell(motion, gop, policy, device, power, Transport::HttpTcp, effort);
-                    let result = Experiment::prepare(cfg).run();
-                    rows.push(Row {
-                        label: format!("{alg}, GOP {gop}, {label}, {}", mode.label()),
-                        values: vec![
-                            ("delay (ms)".into(), result.delay_s.mean * 1e3),
-                            ("±95% CI (ms)".into(), result.delay_s.ci95 * 1e3),
-                        ],
-                    });
+                    cells.push((alg, gop, label, motion, mode));
                 }
             }
         }
     }
+    let rows = par_map(&cells, |&(alg, gop, label, motion, mode)| {
+        let policy = Policy::new(alg, mode);
+        let cfg = cell(motion, gop, policy, device, power, Transport::HttpTcp, effort);
+        let result = Experiment::prepare(cfg).run();
+        Row {
+            label: format!("{alg}, GOP {gop}, {label}, {}", mode.label()),
+            values: vec![
+                ("delay (ms)".into(), result.delay_s.mean * 1e3),
+                ("±95% CI (ms)".into(), result.delay_s.ci95 * 1e3),
+            ],
+        }
+    });
     Table {
         title: format!("Figures 12/13 — HTTP/TCP delay on the {}", device.name),
         caption: "Paper: same ordering as RTP/UDP with slightly higher latency from \
@@ -464,30 +493,35 @@ pub fn fig12_13(device: DeviceSpec, power: PowerProfile, effort: Effort) -> Tabl
 
 /// Figures 14/15: eavesdropper distortion and MOS with HTTP/TCP.
 pub fn fig14_15(gop: usize, effort: Effort) -> Table {
-    let mut rows = Vec::new();
-    for (label, motion) in MOTIONS {
-        for mode in EncryptionMode::TABLE1 {
-            let policy = Policy::new(Algorithm::Aes256, mode);
-            let cfg = cell(
-                motion,
-                gop,
-                policy,
-                SAMSUNG_GALAXY_S2,
-                SAMSUNG_GALAXY_S2_POWER,
-                Transport::HttpTcp,
-                effort,
-            );
-            let result = Experiment::prepare(cfg).run();
-            rows.push(Row {
-                label: format!("{label}, {}", mode.label()),
-                values: vec![
-                    ("eavesdropper PSNR (dB)".into(), result.psnr_eve_db.mean),
-                    ("eavesdropper MOS".into(), result.mos_eve.mean),
-                    ("receiver PSNR (dB)".into(), result.psnr_rx_db.mean),
-                ],
-            });
+    let cells: Vec<_> = MOTIONS
+        .iter()
+        .flat_map(|&(label, motion)| {
+            EncryptionMode::TABLE1
+                .into_iter()
+                .map(move |mode| (label, motion, mode))
+        })
+        .collect();
+    let rows = par_map(&cells, |&(label, motion, mode)| {
+        let policy = Policy::new(Algorithm::Aes256, mode);
+        let cfg = cell(
+            motion,
+            gop,
+            policy,
+            SAMSUNG_GALAXY_S2,
+            SAMSUNG_GALAXY_S2_POWER,
+            Transport::HttpTcp,
+            effort,
+        );
+        let result = Experiment::prepare(cfg).run();
+        Row {
+            label: format!("{label}, {}", mode.label()),
+            values: vec![
+                ("eavesdropper PSNR (dB)".into(), result.psnr_eve_db.mean),
+                ("eavesdropper MOS".into(), result.mos_eve.mean),
+                ("receiver PSNR (dB)".into(), result.psnr_rx_db.mean),
+            ],
         }
-    }
+    });
     Table {
         title: format!("Figures 14/15 — HTTP/TCP distortion and MOS, GOP={gop}"),
         caption: "Paper: the RTP/UDP distortion trends persist over TCP; reliable \
@@ -499,22 +533,27 @@ pub fn fig14_15(gop: usize, effort: Effort) -> Table {
 
 /// The abstract's headline numbers, recomputed (Section 1 / 6.3).
 pub fn headline() -> Table {
-    let mut rows = Vec::new();
-    for (label, motion) in MOTIONS {
-        for alg in [Algorithm::Aes256, Algorithm::TripleDes] {
-            let advisor = PolicyAdvisor::calibrate(motion, 30, SAMSUNG_GALAXY_S2, alg);
-            let h = headline_metrics(motion, &advisor);
-            let rec = advisor.recommend(PrivacyPreference::Balanced);
-            rows.push(Row {
-                label: format!("{label}, {alg} → {}", rec.policy.mode.label()),
-                values: vec![
-                    ("delay reduction (%)".into(), h.delay_reduction * 100.0),
-                    ("energy savings (%)".into(), h.energy_savings * 100.0),
-                    ("eavesdropper MOS".into(), h.balanced_mos),
-                ],
-            });
+    let cells: Vec<_> = MOTIONS
+        .iter()
+        .flat_map(|&(label, motion)| {
+            [Algorithm::Aes256, Algorithm::TripleDes]
+                .into_iter()
+                .map(move |alg| (label, motion, alg))
+        })
+        .collect();
+    let rows = par_map(&cells, |&(label, motion, alg)| {
+        let advisor = PolicyAdvisor::calibrate(motion, 30, SAMSUNG_GALAXY_S2, alg);
+        let h = headline_metrics(motion, &advisor);
+        let rec = advisor.recommend(PrivacyPreference::Balanced);
+        Row {
+            label: format!("{label}, {alg} → {}", rec.policy.mode.label()),
+            values: vec![
+                ("delay reduction (%)".into(), h.delay_reduction * 100.0),
+                ("energy savings (%)".into(), h.energy_savings * 100.0),
+                ("eavesdropper MOS".into(), h.balanced_mos),
+            ],
         }
-    }
+    });
     Table {
         title: "Headline results — savings of the recommended policy vs encrypt-all".into(),
         caption: "Paper: delay reduced by as much as 75%, energy by as much as 92%, while \
@@ -529,8 +568,7 @@ pub fn headline() -> Table {
 pub fn ablation_arrival_model(effort: Effort) -> Table {
     use thrifty::queueing::mmpp::Mmpp2;
     use thrifty::queueing::solver::MmppG1;
-    let mut rows = Vec::new();
-    for (label, motion) in MOTIONS {
+    let rows = par_map(&MOTIONS, |&(label, motion)| {
         let policy = Policy::new(Algorithm::Aes256, EncryptionMode::IFrames);
         let cfg = cell(
             motion,
@@ -550,15 +588,15 @@ pub fn ablation_arrival_model(effort: Effort) -> Table {
             .solve()
             .unwrap();
         let sim_delay = exp.run().delay_s.mean;
-        rows.push(Row {
+        Row {
             label: label.into(),
             values: vec![
                 ("MMPP model (ms)".into(), mmpp_delay * 1e3),
                 ("Poisson model (ms)".into(), poisson.mean_sojourn_s * 1e3),
                 ("simulation (ms)".into(), sim_delay * 1e3),
             ],
-        });
-    }
+        }
+    });
     Table {
         title: "Ablation A — 2-MMPP vs Poisson arrival model (AES256/I, GOP 30)".into(),
         caption: "A Poisson fit of the same mean rate ignores the I-fragment bursts and \
@@ -571,8 +609,7 @@ pub fn ablation_arrival_model(effort: Effort) -> Table {
 /// Ablation B — P-frame intra refresh: the paper's pure frame-copy
 /// concealment (r = 0) vs our refresh extension, against the experiment.
 pub fn ablation_refresh(effort: Effort) -> Table {
-    let mut rows = Vec::new();
-    for (label, motion) in MOTIONS {
+    let rows = par_map(&MOTIONS, |&(label, motion)| {
         let policy = Policy::new(Algorithm::Aes256, EncryptionMode::IFrames);
         let scene = SceneDistortion::measure(motion, 60, 12, 11);
         let cfg = cell(
@@ -589,7 +626,7 @@ pub fn ablation_refresh(effort: Effort) -> Table {
         frozen.refresh_override = Some(0.0);
         let with_refresh = DistortionModel::new(&exp.params, &scene);
         let measured = exp.run().psnr_eve_db.mean;
-        rows.push(Row {
+        Row {
             label: format!("{label}, I policy"),
             values: vec![
                 (
@@ -602,8 +639,8 @@ pub fn ablation_refresh(effort: Effort) -> Table {
                 ),
                 ("experiment PSNR (dB)".into(), measured),
             ],
-        });
-    }
+        }
+    });
     Table {
         title: "Ablation B — P-frame intra refresh in the distortion model".into(),
         caption: "Pure frame-copy concealment predicts fast-motion I-only as dark as slow \
@@ -729,8 +766,10 @@ pub fn ablation_producer_loop(effort: Effort) -> Table {
     use rand::SeedableRng;
     use thrifty::sim::sender::SenderSim;
     use thrifty::video::encoder::StatisticalEncoder;
-    let mut rows = Vec::new();
-    for (label, motion) in MOTIONS {
+    // Within one motion class the open/closed-loop runs share a single RNG
+    // stream, so the fan-out is across motion labels only; each motion
+    // re-seeds from 97 and stays bit-identical to the sequential loop.
+    let rows = par_flat_map(&MOTIONS, |&(label, motion)| {
         let params = thrifty::analytic::params::ScenarioParams::calibrated(
             motion,
             30,
@@ -751,16 +790,17 @@ pub fn ablation_producer_loop(effort: Effort) -> Table {
             }
             acc / effort.trials.max(3) as f64 * 1e3
         };
-        for (loop_label, closed) in [("open loop", false), ("closed loop", true)] {
-            rows.push(Row {
+        [("open loop", false), ("closed loop", true)]
+            .into_iter()
+            .map(|(loop_label, closed)| Row {
                 label: format!("{label}, {loop_label}"),
                 values: vec![
                     ("I delay (ms)".into(), mean(EncryptionMode::IFrames, closed, &mut rng)),
                     ("P delay (ms)".into(), mean(EncryptionMode::PFrames, closed, &mut rng)),
                 ],
-            });
-        }
-    }
+            })
+            .collect()
+    });
     Table {
         title: "Ablation E — open-loop vs closed-loop producer (AES256, GOP 30)".into(),
         caption: "With an unbounded queue, encrypting the hot I-fragment burst compounds \
@@ -780,8 +820,7 @@ pub fn ablation_producer_loop(effort: Effort) -> Table {
 pub fn ablation_three_phase(effort: Effort) -> Table {
     use thrifty::queueing::matrix::Matrix;
     use thrifty::queueing::solver_n::{MmppN, MmppNG1};
-    let mut rows = Vec::new();
-    for (label, motion) in MOTIONS {
+    let rows = par_map(&MOTIONS, |&(label, motion)| {
         let policy = Policy::new(Algorithm::Aes256, EncryptionMode::IFrames);
         let cfg = cell(
             motion,
@@ -822,7 +861,7 @@ pub fn ablation_three_phase(effort: Effort) -> Table {
                 .mean_sojourn_s
         };
         let sim = exp.run().delay_s.mean;
-        rows.push(Row {
+        Row {
             label: label.into(),
             values: vec![
                 ("2-phase model (ms)".into(), two_phase * 1e3),
@@ -830,8 +869,8 @@ pub fn ablation_three_phase(effort: Effort) -> Table {
                 ("3-phase, 50% idle (ms)".into(), three_phase(0.50) * 1e3),
                 ("simulation (ms)".into(), sim * 1e3),
             ],
-        });
-    }
+        }
+    });
     Table {
         title: "Ablation F — 2-phase vs 3-phase arrival model (AES256/I, GOP 30)".into(),
         caption: "Splitting the P phase into traffic + idle (long-run rate fixed) \
@@ -994,6 +1033,22 @@ mod tests {
                 "{}: concentrating P traffic must raise delay ({low_idle} -> {high_idle})",
                 row.label
             );
+        }
+    }
+
+    #[test]
+    fn parallel_generators_are_deterministic() {
+        // Two runs of a par_map-backed generator must agree bit for bit:
+        // the fan-out may not perturb cell seeding or row order.
+        let a = fig10_11(SAMSUNG_GALAXY_S2_POWER, Effort::quick());
+        let b = fig10_11(SAMSUNG_GALAXY_S2_POWER, Effort::quick());
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.label, rb.label);
+            for ((ka, va), (kb, vb)) in ra.values.iter().zip(&rb.values) {
+                assert_eq!(ka, kb);
+                assert_eq!(va.to_bits(), vb.to_bits(), "{}/{ka}", ra.label);
+            }
         }
     }
 

@@ -1,0 +1,156 @@
+//! Cipher throughput measurement behind `BENCH_cipher.json`.
+//!
+//! The delay and energy gaps the paper reports all trace back to one
+//! number: how many bytes per second each cipher pushes through OFB on the
+//! sender's CPU. This module measures that number for every
+//! (algorithm × backend) pair on MTU-sized segments and renders the result
+//! — together with the wall time of each regenerated figure — as a small
+//! machine-readable JSON document the `reproduce` binary writes next to its
+//! Markdown output.
+
+use std::time::{Duration, Instant};
+
+use thrifty::crypto::{Algorithm, CipherBackend, SegmentCipher};
+
+/// The RTP payload the paper's app ships per packet: 1500-byte Ethernet MTU
+/// minus IP/UDP/RTP headers. Segment-cipher throughput is quoted at this
+/// size because it is the unit the sender actually encrypts.
+pub const SEGMENT_LEN: usize = 1452;
+
+/// Measured OFB throughput of one (algorithm, backend) pair.
+#[derive(Debug, Clone, Copy)]
+pub struct CipherThroughput {
+    /// Cipher under test.
+    pub algorithm: Algorithm,
+    /// Implementation backend under test.
+    pub backend: CipherBackend,
+    /// Segment size the measurement encrypted, in bytes.
+    pub segment_len: usize,
+    /// Sustained encryption rate, bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+impl CipherThroughput {
+    /// Throughput in MB/s (10⁶ bytes), the unit the docs quote.
+    pub fn mb_per_sec(&self) -> f64 {
+        self.bytes_per_sec / 1e6
+    }
+}
+
+/// Measure every (algorithm × backend) pair encrypting `segment_len`-byte
+/// segments, spending roughly `budget` of wall time per pair.
+///
+/// Uses the same protocol as the bench harness: calibrate an iteration
+/// count, then keep the fastest of three batches (minimum-of-batches
+/// rejects scheduler noise without needing long runs).
+pub fn measure_cipher_throughput(segment_len: usize, budget: Duration) -> Vec<CipherThroughput> {
+    let key = [7u8; 32];
+    let mut out = Vec::new();
+    for alg in Algorithm::ALL {
+        for backend in CipherBackend::ALL {
+            let cipher = SegmentCipher::with_backend(alg, &key, backend)
+                .expect("32-byte key covers every algorithm");
+            let mut buf = vec![0xA5u8; segment_len];
+            let time_batch = |iters: u64, buf: &mut [u8]| {
+                let start = Instant::now();
+                for seq in 0..iters {
+                    cipher.encrypt_segment(seq, buf);
+                    std::hint::black_box(&*buf);
+                }
+                start.elapsed()
+            };
+            // Calibration: grow the batch until it runs long enough to time.
+            let mut iters = 1u64;
+            let per_iter = loop {
+                let elapsed = time_batch(iters, &mut buf);
+                if elapsed >= Duration::from_millis(5) || iters >= 1 << 22 {
+                    break elapsed.as_secs_f64() / iters as f64;
+                }
+                iters *= 4;
+            };
+            let batch =
+                ((budget.as_secs_f64() / 3.0 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 22);
+            let best = (0..3)
+                .map(|_| time_batch(batch, &mut buf).as_secs_f64() / batch as f64)
+                .fold(f64::INFINITY, f64::min);
+            out.push(CipherThroughput {
+                algorithm: alg,
+                backend,
+                segment_len,
+                bytes_per_sec: segment_len as f64 / best,
+            });
+        }
+    }
+    out
+}
+
+/// Render the `BENCH_cipher.json` document: per-cipher/per-backend
+/// throughput plus the wall time each figure took to regenerate.
+/// Hand-rolled JSON, like [`crate::Table::to_json`]: numbers and short
+/// ASCII labels only, so escaping quotes/backslashes suffices.
+pub fn bench_cipher_json(ciphers: &[CipherThroughput], figures: &[(String, f64)]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let cipher_rows: Vec<String> = ciphers
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"algorithm\": \"{}\", \"backend\": \"{}\", \"segment_bytes\": {}, \
+                 \"bytes_per_sec\": {:.0}, \"mb_per_sec\": {:.1}}}",
+                esc(t.algorithm.name()),
+                esc(t.backend.name()),
+                t.segment_len,
+                t.bytes_per_sec,
+                t.mb_per_sec()
+            )
+        })
+        .collect();
+    let figure_rows: Vec<String> = figures
+        .iter()
+        .map(|(name, secs)| format!("{{\"figure\": \"{}\", \"wall_s\": {secs:.3}}}", esc(name)))
+        .collect();
+    format!(
+        "{{\n  \"ciphers\": [\n    {}\n  ],\n  \"figures\": [\n    {}\n  ]\n}}\n",
+        cipher_rows.join(",\n    "),
+        figure_rows.join(",\n    ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_every_algorithm_backend_pair() {
+        let t = measure_cipher_throughput(256, Duration::from_millis(3));
+        assert_eq!(t.len(), Algorithm::ALL.len() * CipherBackend::ALL.len());
+        for m in &t {
+            assert!(
+                m.bytes_per_sec.is_finite() && m.bytes_per_sec > 0.0,
+                "{} {} must measure positive throughput",
+                m.algorithm.name(),
+                m.backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn json_document_is_wellformed() {
+        let ciphers = [CipherThroughput {
+            algorithm: Algorithm::Aes128,
+            backend: CipherBackend::Fast,
+            segment_len: 1452,
+            bytes_per_sec: 2.5e8,
+        }];
+        let figures = [("fig7".to_string(), 1.25)];
+        let json = bench_cipher_json(&ciphers, &figures);
+        assert!(json.contains("\"algorithm\": \"AES128\""));
+        assert!(json.contains("\"backend\": \"fast\""));
+        assert!(json.contains("\"mb_per_sec\": 250.0"));
+        assert!(json.contains("\"figure\": \"fig7\""));
+        assert!(json.contains("\"wall_s\": 1.250"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

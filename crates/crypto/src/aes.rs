@@ -43,7 +43,7 @@ pub const INV_SBOX: [u8; 256] = {
 };
 
 /// Round constants for the key schedule (enough for AES-256's 14 rounds).
-const RCON: [u8; 15] = [
+pub(crate) const RCON: [u8; 15] = [
     0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0xd8, 0xab, 0x4d,
 ];
 

@@ -8,7 +8,7 @@
 use crate::BlockCipher;
 
 /// Initial permutation (IP).
-const IP: [u8; 64] = [
+pub(crate) const IP: [u8; 64] = [
     58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4, 62, 54, 46, 38, 30, 22, 14, 6,
     64, 56, 48, 40, 32, 24, 16, 8, 57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
     61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
@@ -21,7 +21,7 @@ const E: [u8; 48] = [
 ];
 
 /// Round permutation (P): 32 → 32 bits.
-const P: [u8; 32] = [
+pub(crate) const P: [u8; 32] = [
     16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10, 2, 8, 24, 14, 32, 27, 3, 9, 19,
     13, 30, 6, 22, 11, 4, 25,
 ];
@@ -43,7 +43,7 @@ const PC2: [u8; 48] = [
 const SHIFTS: [u8; 16] = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1];
 
 /// The eight DES S-boxes, each 4 rows × 16 columns.
-const SBOXES: [[u8; 64]; 8] = [
+pub(crate) const SBOXES: [[u8; 64]; 8] = [
     [
         14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7, 0, 15, 7, 4, 14, 2, 13, 1, 10, 6,
         12, 11, 9, 5, 3, 8, 4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0, 15, 12, 8, 2,
@@ -100,12 +100,12 @@ fn permute(input: u64, in_bits: u32, table: &[u8]) -> u64 {
 
 /// The 16 48-bit round keys of a single-DES instance.
 #[derive(Clone)]
-struct DesKeySchedule {
-    round_keys: [u64; 16],
+pub(crate) struct DesKeySchedule {
+    pub(crate) round_keys: [u64; 16],
 }
 
 impl DesKeySchedule {
-    fn new(key: u64) -> Self {
+    pub(crate) fn new(key: u64) -> Self {
         let permuted = permute(key, 64, &PC1); // 56 bits
         let mut c = (permuted >> 28) as u32 & 0x0fff_ffff;
         let mut d = permuted as u32 & 0x0fff_ffff;

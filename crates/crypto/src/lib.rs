@@ -31,17 +31,21 @@
 #![warn(missing_docs)]
 
 pub mod aes;
+pub mod aes_fast;
 pub mod cbc;
 pub mod cost;
 pub mod ctr;
 pub mod des;
+pub mod des_fast;
 pub mod ofb;
 
 pub use aes::{Aes128, Aes256};
+pub use aes_fast::AesFast;
 pub use cbc::{cbc_decrypt, cbc_encrypt, CbcError};
 pub use ctr::Ctr;
 pub use cost::{CostModel, CostSample};
 pub use des::{Des, TripleDes};
+pub use des_fast::{DesFast, TripleDesFast};
 pub use ofb::Ofb;
 
 /// A block cipher usable in OFB mode.
@@ -96,11 +100,18 @@ impl Algorithm {
 
     /// Relative software cost per byte, normalised to AES-128 = 1.
     ///
-    /// These ratios reflect table-driven software implementations on ARMv7
-    /// cores without AES-NI (the paper's Galaxy S-II / HTC Amaze class
-    /// hardware): AES-256 runs 14 rounds instead of 10 (×1.4), and 3DES
-    /// performs three full DES passes over 8-byte blocks, roughly 6× the
-    /// per-byte work of AES-128.
+    /// These ratios model the paper's ARMv7 devices (Galaxy S-II / HTC
+    /// Amaze class, no AES-NI): AES-256 runs 14 rounds instead of 10
+    /// (×1.4), and 3DES performs three full DES passes over 8-byte blocks,
+    /// roughly 6× the per-byte work of AES-128. The analytic delay/energy
+    /// models are calibrated against those devices, so the constants stay
+    /// put even though this repo's own backends measure differently on
+    /// x86 (see EXPERIMENTS.md and `BENCH_cipher.json`): the fast
+    /// table-driven backend shows AES-256 ≈ 1.3× and 3DES ≈ 11×, the
+    /// byte-oriented reference backend ≈ 1.4× and ≈ 50×. The AES ratio is
+    /// robust across implementations; the 3DES ratio depends on how much
+    /// DES per-round work is precomputed, and the paper's 6× sits between
+    /// the two extremes.
     pub fn relative_cost(self) -> f64 {
         match self {
             Algorithm::Aes128 => 1.0,
@@ -149,31 +160,110 @@ impl std::fmt::Display for CryptoError {
 
 impl std::error::Error for CryptoError {}
 
+/// Which implementation family a [`SegmentCipher`] dispatches to.
+///
+/// Both backends are bit-exact (pinned by differential tests on FIPS/NIST
+/// vectors and random inputs); they differ only in speed:
+///
+/// * [`Reference`](CipherBackend::Reference) — the auditable byte/bit-level
+///   implementations in [`aes`] and [`des`], whose per-round structure
+///   mirrors the [`CostModel`]. Used by tests and as the differential
+///   oracle.
+/// * [`Fast`](CipherBackend::Fast) — the table-driven implementations in
+///   [`aes_fast`] and [`des_fast`] (T-tables, fused SP tables, byte-lookup
+///   IP/IP⁻¹). The default for every caller that moves real traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CipherBackend {
+    /// Byte/bit-oriented reference implementations.
+    Reference,
+    /// Table-driven implementations (the default).
+    #[default]
+    Fast,
+}
+
+impl CipherBackend {
+    /// Both backends, reference first.
+    pub const ALL: [CipherBackend; 2] = [CipherBackend::Reference, CipherBackend::Fast];
+
+    /// Label used in benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CipherBackend::Reference => "reference",
+            CipherBackend::Fast => "fast",
+        }
+    }
+}
+
+impl std::fmt::Display for CipherBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The keyed block-cipher instance behind a [`SegmentCipher`] — one variant
+/// per (algorithm, backend) pair. Kept private so callers select through
+/// [`Algorithm`] × [`CipherBackend`] only.
+#[derive(Clone)]
+#[allow(clippy::large_enum_variant)] // AES-256's key schedule dominates; one
+// cipher per transfer makes boxing pointless
+enum Inner {
+    RefAes128(Aes128),
+    RefAes256(Aes256),
+    RefTripleDes(TripleDes),
+    FastAes(AesFast),
+    FastTripleDes(TripleDesFast),
+}
+
+impl Inner {
+    fn cipher(&self) -> &dyn BlockCipher {
+        match self {
+            Inner::RefAes128(c) => c,
+            Inner::RefAes256(c) => c,
+            Inner::RefTripleDes(c) => c,
+            Inner::FastAes(c) => c,
+            Inner::FastTripleDes(c) => c,
+        }
+    }
+}
+
 /// A keyed cipher that encrypts/decrypts whole video segments in OFB mode.
 ///
 /// The paper applies OFB "to each segment separately, and therefore a
 /// possible error at the receiver does not propagate to the following
 /// segments" (Section 5). We derive a distinct IV for every segment from its
 /// sequence number, so encryption and decryption only need `(key, seq)`.
+///
+/// [`new`](SegmentCipher::new) selects the [`CipherBackend::Fast`]
+/// table-driven implementations; [`with_backend`](SegmentCipher::with_backend)
+/// pins a specific backend (the reference one exists as a differential
+/// oracle and auditable specification).
 #[derive(Clone)]
-#[allow(clippy::large_enum_variant)] // AES-256's key schedule dominates; one
-// cipher per transfer makes boxing pointless
-pub enum SegmentCipher {
-    /// AES-128 variant.
-    Aes128(Aes128),
-    /// AES-256 variant.
-    Aes256(Aes256),
-    /// 3DES variant.
-    TripleDes(TripleDes),
+pub struct SegmentCipher {
+    algorithm: Algorithm,
+    backend: CipherBackend,
+    inner: Inner,
 }
 
 impl SegmentCipher {
     /// Create a cipher for `algorithm`, keyed with the first
-    /// `algorithm.key_len()` bytes of `key`.
+    /// `algorithm.key_len()` bytes of `key`, using the default
+    /// ([`Fast`](CipherBackend::Fast)) backend.
     ///
     /// # Errors
     /// [`CryptoError::BadKeyLength`] if `key` is shorter than required.
     pub fn new(algorithm: Algorithm, key: &[u8]) -> Result<Self, CryptoError> {
+        Self::with_backend(algorithm, key, CipherBackend::default())
+    }
+
+    /// Create a cipher pinned to a specific backend.
+    ///
+    /// # Errors
+    /// [`CryptoError::BadKeyLength`] if `key` is shorter than required.
+    pub fn with_backend(
+        algorithm: Algorithm,
+        key: &[u8],
+        backend: CipherBackend,
+    ) -> Result<Self, CryptoError> {
         let need = algorithm.key_len();
         if key.len() < need {
             return Err(CryptoError::BadKeyLength {
@@ -181,32 +271,39 @@ impl SegmentCipher {
                 got: key.len(),
             });
         }
-        Ok(match algorithm {
-            Algorithm::Aes128 => {
-                let mut k = [0u8; 16];
-                k.copy_from_slice(&key[..16]);
-                SegmentCipher::Aes128(Aes128::new(&k))
+        let key = &key[..need];
+        let inner = match (algorithm, backend) {
+            (Algorithm::Aes128, CipherBackend::Reference) => {
+                Inner::RefAes128(Aes128::new(key.try_into().unwrap()))
             }
-            Algorithm::Aes256 => {
-                let mut k = [0u8; 32];
-                k.copy_from_slice(&key[..32]);
-                SegmentCipher::Aes256(Aes256::new(&k))
+            (Algorithm::Aes256, CipherBackend::Reference) => {
+                Inner::RefAes256(Aes256::new(key.try_into().unwrap()))
             }
-            Algorithm::TripleDes => {
-                let mut k = [0u8; 24];
-                k.copy_from_slice(&key[..24]);
-                SegmentCipher::TripleDes(TripleDes::new(&k))
+            (Algorithm::TripleDes, CipherBackend::Reference) => {
+                Inner::RefTripleDes(TripleDes::new(key.try_into().unwrap()))
             }
+            (Algorithm::Aes128 | Algorithm::Aes256, CipherBackend::Fast) => {
+                Inner::FastAes(AesFast::new(key))
+            }
+            (Algorithm::TripleDes, CipherBackend::Fast) => {
+                Inner::FastTripleDes(TripleDesFast::new(key.try_into().unwrap()))
+            }
+        };
+        Ok(SegmentCipher {
+            algorithm,
+            backend,
+            inner,
         })
     }
 
     /// The algorithm this cipher was constructed with.
     pub fn algorithm(&self) -> Algorithm {
-        match self {
-            SegmentCipher::Aes128(_) => Algorithm::Aes128,
-            SegmentCipher::Aes256(_) => Algorithm::Aes256,
-            SegmentCipher::TripleDes(_) => Algorithm::TripleDes,
-        }
+        self.algorithm
+    }
+
+    /// The backend this cipher dispatches to.
+    pub fn backend(&self) -> CipherBackend {
+        self.backend
     }
 
     fn iv_for_segment(&self, seq: u64, iv: &mut [u8]) {
@@ -218,11 +315,7 @@ impl SegmentCipher {
         }
         let n = iv.len();
         iv[n - 8..].copy_from_slice(&seq.to_be_bytes());
-        match self {
-            SegmentCipher::Aes128(c) => c.encrypt_block(iv),
-            SegmentCipher::Aes256(c) => c.encrypt_block(iv),
-            SegmentCipher::TripleDes(c) => c.encrypt_block(iv),
-        }
+        self.inner.cipher().encrypt_block(iv);
     }
 
     /// Encrypt `data` in place as segment number `seq`.
@@ -238,30 +331,18 @@ impl SegmentCipher {
     }
 
     fn xor_keystream(&self, seq: u64, data: &mut [u8]) {
-        match self {
-            SegmentCipher::Aes128(c) => {
-                let mut iv = [0u8; 16];
-                self.iv_for_segment(seq, &mut iv);
-                Ofb::new(c, &iv).apply(data);
-            }
-            SegmentCipher::Aes256(c) => {
-                let mut iv = [0u8; 16];
-                self.iv_for_segment(seq, &mut iv);
-                Ofb::new(c, &iv).apply(data);
-            }
-            SegmentCipher::TripleDes(c) => {
-                let mut iv = [0u8; 8];
-                self.iv_for_segment(seq, &mut iv);
-                Ofb::new(c, &iv).apply(data);
-            }
-        }
+        let cipher = self.inner.cipher();
+        let mut iv = [0u8; 16];
+        let iv = &mut iv[..cipher.block_size()];
+        self.iv_for_segment(seq, iv);
+        Ofb::new(cipher, iv).apply(data);
     }
 }
 
 impl std::fmt::Debug for SegmentCipher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
-        write!(f, "SegmentCipher({})", self.algorithm())
+        write!(f, "SegmentCipher({}, {})", self.algorithm, self.backend)
     }
 }
 
@@ -332,5 +413,50 @@ mod tests {
         let dbg = format!("{c:?}");
         assert!(!dbg.contains("170")); // 0xAA
         assert!(dbg.contains("AES128"));
+    }
+
+    #[test]
+    fn default_backend_is_fast() {
+        let key = [1u8; 32];
+        let c = SegmentCipher::new(Algorithm::Aes256, &key).unwrap();
+        assert_eq!(c.backend(), CipherBackend::Fast);
+        let r = SegmentCipher::with_backend(Algorithm::Aes256, &key, CipherBackend::Reference)
+            .unwrap();
+        assert_eq!(r.backend(), CipherBackend::Reference);
+    }
+
+    #[test]
+    fn backends_produce_identical_segments() {
+        // The tentpole guarantee: selecting the fast backend changes
+        // nothing but speed — same IV derivation, same keystream, same
+        // ciphertext, for every algorithm, segment number, and length
+        // (including partial blocks).
+        let key: Vec<u8> = (0..32u8).map(|i| i.wrapping_mul(73).wrapping_add(9)).collect();
+        for alg in Algorithm::ALL {
+            let fast = SegmentCipher::with_backend(alg, &key, CipherBackend::Fast).unwrap();
+            let reference =
+                SegmentCipher::with_backend(alg, &key, CipherBackend::Reference).unwrap();
+            for seq in [0u64, 1, 7, u32::MAX as u64 + 3] {
+                for len in [0usize, 1, 15, 16, 17, 100, 1452] {
+                    let original: Vec<u8> =
+                        (0..len).map(|i| (i as u8).wrapping_mul(31) ^ seq as u8).collect();
+                    let mut a = original.clone();
+                    let mut b = original.clone();
+                    fast.encrypt_segment(seq, &mut a);
+                    reference.encrypt_segment(seq, &mut b);
+                    assert_eq!(a, b, "{alg} seq={seq} len={len}: ciphertext diverged");
+                    // Cross-backend decrypt closes the loop.
+                    reference.decrypt_segment(seq, &mut a);
+                    assert_eq!(a, original, "{alg} seq={seq} len={len}: roundtrip failed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backend_metadata_is_consistent() {
+        assert_eq!(CipherBackend::ALL.len(), 2);
+        assert_eq!(CipherBackend::Reference.to_string(), "reference");
+        assert_eq!(CipherBackend::Fast.to_string(), "fast");
     }
 }

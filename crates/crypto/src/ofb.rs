@@ -55,10 +55,54 @@ impl<'c, C: BlockCipher + ?Sized> Ofb<'c, C> {
     }
 
     /// XOR the keystream over `data` in place (encrypts or decrypts).
+    ///
+    /// Works block-at-a-time: any partially consumed keystream block is
+    /// drained byte-wise first, then whole blocks are generated with one
+    /// `encrypt_block` each and XORed in word-sized chunks, and a final
+    /// partial block falls back to [`next_byte`](Ofb::next_byte). The
+    /// cursor state is identical to what the byte loop would leave, so
+    /// `apply` and `next_byte` calls can be interleaved freely.
     pub fn apply(&mut self, data: &mut [u8]) {
-        for b in data.iter_mut() {
-            *b ^= self.next_byte();
+        let block = self.feedback.len();
+        let mut i = 0;
+        // Drain whatever is left of the current keystream block.
+        while self.cursor < block && i < data.len() {
+            data[i] ^= self.feedback[self.cursor];
+            self.cursor += 1;
+            i += 1;
         }
+        // Whole blocks: one cipher call + word-wide XOR per block. The
+        // feedback buffer is left fully consumed (`cursor == block`),
+        // exactly as the byte path would.
+        while data.len() - i >= block {
+            self.cipher.encrypt_block(&mut self.feedback);
+            xor_in_place(&mut data[i..i + block], &self.feedback);
+            i += block;
+        }
+        // Final partial block (if any) via the byte path, which also
+        // generates the next keystream block and positions the cursor.
+        while i < data.len() {
+            data[i] ^= self.next_byte();
+            i += 1;
+        }
+    }
+}
+
+/// XOR `ks` into `dst` using u64 lanes (both slices have equal length, a
+/// whole cipher block — 8 or 16 bytes — so the remainder loop is empty for
+/// the ciphers in this crate but kept for generality).
+#[inline]
+fn xor_in_place(dst: &mut [u8], ks: &[u8]) {
+    debug_assert_eq!(dst.len(), ks.len());
+    let mut d = dst.chunks_exact_mut(8);
+    let mut k = ks.chunks_exact(8);
+    for (dc, kc) in (&mut d).zip(&mut k) {
+        let x = u64::from_ne_bytes(dc[..8].try_into().unwrap())
+            ^ u64::from_ne_bytes(kc.try_into().unwrap());
+        dc.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (db, kb) in d.into_remainder().iter_mut().zip(k.remainder()) {
+        *db ^= kb;
     }
 }
 
@@ -134,6 +178,45 @@ mod tests {
             ofb.apply(chunk);
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_and_byte_paths_interleave_identically() {
+        // Regression for the block-wise `apply` fast path: mixing `apply`
+        // (which may take the bulk route) with `next_byte` at arbitrary
+        // offsets must produce the same keystream as a pure byte loop.
+        let key: [u8; 16] = [0x3C; 16];
+        let cipher = Aes128::new(&key);
+        let iv = [0x77u8; 16];
+        // Oracle: the keystream drawn one byte at a time.
+        let mut oracle = Ofb::new(&cipher, &iv);
+        let expected: Vec<u8> = (0..200).map(|_| oracle.next_byte()).collect();
+        // Candidate: apply over a misaligned chunk, then single bytes, then
+        // another apply spanning several blocks, for several split points.
+        for split in [0usize, 1, 5, 15, 16, 17, 31, 33] {
+            let mut ofb = Ofb::new(&cipher, &iv);
+            let mut out = vec![0u8; 200];
+            ofb.apply(&mut out[..split]);
+            let n_single = 3.min(200 - split);
+            for b in out[split..split + n_single].iter_mut() {
+                *b ^= ofb.next_byte();
+            }
+            ofb.apply(&mut out[split + n_single..]);
+            assert_eq!(out, expected, "split={split}");
+        }
+    }
+
+    #[test]
+    fn bulk_path_matches_on_des_blocks_too() {
+        // 8-byte blocks exercise the single-u64 XOR lane.
+        let key: [u8; 24] = [0x42; 24];
+        let cipher = TripleDes::new(&key);
+        let iv = [0x0Fu8; 8];
+        let mut oracle = Ofb::new(&cipher, &iv);
+        let expected: Vec<u8> = (0..64).map(|_| oracle.next_byte()).collect();
+        let mut bulk = vec![0u8; 64];
+        Ofb::new(&cipher, &iv).apply(&mut bulk);
+        assert_eq!(bulk, expected);
     }
 
     #[test]

@@ -352,7 +352,11 @@ mod tests {
         let mut w = BitWriter::new();
         w.put_ue(3);
         w.put_trailing_bits();
-        assert_eq!(w.into_bytes(), vec![0b00100_100]);
+        // Grouped as written: 5-bit Exp-Golomb code, then the stop bit and
+        // alignment zeros.
+        #[allow(clippy::unusual_byte_groupings)]
+        let expected = vec![0b00100_100];
+        assert_eq!(w.into_bytes(), expected);
     }
 
     #[test]

@@ -287,8 +287,8 @@ mod tests {
         let mut received = vec![true; 12];
         received[6] = false; // I-frame of GOP 1
         let rec = ConcealingDecoder.reconstruct(&original, &received, 6);
-        for f in 6..12 {
-            assert_eq!(rec[f], original[5], "frame {f} must freeze at frame 5");
+        for (f, frame) in rec.iter().enumerate().skip(6) {
+            assert_eq!(*frame, original[5], "frame {f} must freeze at frame 5");
         }
     }
 

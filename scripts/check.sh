@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI runs, in the order that fails fastest.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo bench -p thrifty-bench -- --test (smoke)"
+cargo bench -p thrifty-bench -- --test
+
+echo "All checks passed."
