@@ -191,7 +191,7 @@ mod tests {
         let d = |mode| {
             model
                 .predict(policy(Algorithm::Aes256, mode))
-                .unwrap()
+                .unwrap_or_else(|e| panic!("AES-256/{mode} on fast/GOP-30 must be stable: {e}"))
                 .mean_delay_s
         };
         let none = d(EncryptionMode::None);
@@ -212,15 +212,15 @@ mod tests {
         let model = DelayModel::new(&s);
         let none = model
             .predict(policy(Algorithm::Aes256, EncryptionMode::None))
-            .unwrap()
+            .expect("AES-256/none on slow/GOP-30 must be stable")
             .mean_delay_s;
         let i = model
             .predict(policy(Algorithm::Aes256, EncryptionMode::IFrames))
-            .unwrap()
+            .expect("AES-256/I on slow/GOP-30 must be stable")
             .mean_delay_s;
         let all = model
             .predict(policy(Algorithm::Aes256, EncryptionMode::All))
-            .unwrap()
+            .expect("AES-256/all on slow/GOP-30 must be stable")
             .mean_delay_s;
         assert!((i - none) < 0.35 * (all - none), "I≈none: {none} {i} {all}");
     }
@@ -230,8 +230,12 @@ mod tests {
         let s = scenario(MotionLevel::High, 30);
         let model = DelayModel::new(&s);
         for mode in [EncryptionMode::All, EncryptionMode::PFrames] {
-            let aes = model.predict(policy(Algorithm::Aes256, mode)).unwrap();
-            let tdes = model.predict(policy(Algorithm::TripleDes, mode)).unwrap();
+            let aes = model
+                .predict(policy(Algorithm::Aes256, mode))
+                .unwrap_or_else(|e| panic!("AES-256/{mode} on fast/GOP-30 must be stable: {e}"));
+            let tdes = model
+                .predict(policy(Algorithm::TripleDes, mode))
+                .unwrap_or_else(|e| panic!("3DES/{mode} on fast/GOP-30 must be stable: {e}"));
             assert!(
                 tdes.mean_delay_s > aes.mean_delay_s,
                 "{mode}: 3DES {} vs AES {}",
@@ -250,8 +254,14 @@ mod tests {
         // Compare at the same arrival pacing.
         htc.mmpp = s2.mmpp;
         let p = policy(Algorithm::TripleDes, EncryptionMode::All);
-        let d_s2 = DelayModel::new(&s2).predict(p).unwrap().mean_delay_s;
-        let d_htc = DelayModel::new(&htc).predict(p).unwrap().mean_delay_s;
+        let d_s2 = DelayModel::new(&s2)
+            .predict(p)
+            .expect("3DES/all on the Samsung must be stable")
+            .mean_delay_s;
+        let d_htc = DelayModel::new(&htc)
+            .predict(p)
+            .expect("3DES/all on the HTC must be stable")
+            .mean_delay_s;
         assert!(d_htc < d_s2, "HTC {d_htc} vs S2 {d_s2}");
     }
 
@@ -267,7 +277,7 @@ mod tests {
                     Algorithm::Aes256,
                     EncryptionMode::IPlusFractionP(alpha),
                 ))
-                .unwrap();
+                .unwrap_or_else(|e| panic!("AES-256/I+{alpha}P on fast/GOP-30 must be stable: {e}"));
             assert!(
                 pred.mean_delay_s >= last,
                 "alpha {alpha}: {} after {last}",
@@ -282,7 +292,9 @@ mod tests {
         let s = scenario(MotionLevel::Low, 30);
         let model = DelayModel::new(&s);
         let p = policy(Algorithm::Aes256, EncryptionMode::IFrames);
-        let pred = model.predict(p).unwrap();
+        let pred = model
+            .predict(p)
+            .expect("AES-256/I on slow/GOP-30 must be stable");
         let expected = s.packet_stats.p_i * s.enc_mean_i(Algorithm::Aes256);
         assert!((pred.mean_encryption_s - expected).abs() / expected < 1e-9);
     }
@@ -292,8 +304,13 @@ mod tests {
         let s = scenario(MotionLevel::High, 30);
         let model = DelayModel::new(&s);
         let p = policy(Algorithm::Aes256, EncryptionMode::IFrames);
-        let mean = model.predict(p).unwrap().mean_delay_s;
-        let q = model.predict_percentiles(p, &[0.5, 0.95, 0.99]).unwrap();
+        let mean = model
+            .predict(p)
+            .expect("AES-256/I on fast/GOP-30 must be stable")
+            .mean_delay_s;
+        let q = model
+            .predict_percentiles(p, &[0.5, 0.95, 0.99])
+            .expect("waiting-time inversion for AES-256/I must converge");
         assert!(q[0] < q[1] && q[1] < q[2], "{q:?}");
         // Right-skewed delay: median below mean, p95 above.
         assert!(q[0] < mean, "median {} < mean {mean}", q[0]);
@@ -307,7 +324,7 @@ mod tests {
         let p95 = |mode| {
             model
                 .predict_percentiles(policy(Algorithm::TripleDes, mode), &[0.95])
-                .unwrap()[0]
+                .unwrap_or_else(|e| panic!("p95 inversion for 3DES/{mode} must converge: {e}"))[0]
         };
         assert!(p95(EncryptionMode::None) < p95(EncryptionMode::IFrames));
         assert!(p95(EncryptionMode::IFrames) < p95(EncryptionMode::All));
@@ -318,13 +335,19 @@ mod tests {
         let s = scenario(MotionLevel::High, 30);
         let model = DelayModel::new(&s);
         let p = policy(Algorithm::Aes256, EncryptionMode::IFrames);
-        let udp = model.predict(p).unwrap().mean_delay_s;
-        let tcp = model.predict_tcp(p, 0.01).unwrap().mean_delay_s;
+        let udp = model
+            .predict(p)
+            .expect("AES-256/I over UDP must be stable")
+            .mean_delay_s;
+        let tcp = model
+            .predict_tcp(p, 0.01)
+            .expect("AES-256/I over TCP must be stable")
+            .mean_delay_s;
         assert!(tcp > udp);
         // The ordering across modes is preserved under TCP.
         let tcp_all = model
             .predict_tcp(policy(Algorithm::Aes256, EncryptionMode::All), 0.01)
-            .unwrap()
+            .expect("AES-256/all over TCP must be stable")
             .mean_delay_s;
         assert!(tcp_all > tcp);
     }
@@ -335,11 +358,11 @@ mod tests {
         let model = DelayModel::new(&s);
         let pred = model
             .predict(policy(Algorithm::Aes128, EncryptionMode::All))
-            .unwrap();
+            .expect("AES-128/all on fast/GOP-30 must be stable");
         assert_eq!(pred.encrypted_fraction, 1.0);
         let pred = model
             .predict(policy(Algorithm::Aes128, EncryptionMode::None))
-            .unwrap();
+            .expect("AES-128/none on fast/GOP-30 must be stable");
         assert_eq!(pred.encrypted_fraction, 0.0);
     }
 }

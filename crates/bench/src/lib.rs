@@ -40,6 +40,7 @@ use thrifty::video::motion::MotionLevel;
 use thrifty::video::quality::distortion_vs_distance;
 use thrifty::video::scene::{SceneConfig, SceneGenerator};
 use thrifty::{headline_metrics, PolicyAdvisor, PrivacyPreference};
+use thrifty_telemetry::{MetricsRegistry, Snapshot, Stage};
 
 /// How many trials and frames the regeneration runs use. The paper uses 20
 /// trials over 300-frame CIF clips; `quick()` keeps CI fast while `full()`
@@ -184,6 +185,105 @@ fn format_value(v: f64) -> String {
     }
 }
 
+/// Telemetry captured while regenerating one experiment cell of a figure.
+#[derive(Debug, Clone)]
+pub struct CellMetrics {
+    /// The cell's row label (matches the figure's row).
+    pub label: String,
+    /// The cell's full metrics snapshot (spans, counters, histograms).
+    pub snapshot: Snapshot,
+}
+
+/// Telemetry for a whole regenerated figure: one snapshot per cell, each
+/// from its own [`MetricsRegistry`], so the parallel fan-out cannot
+/// interleave float accumulation — merging in fixed cell order keeps the
+/// combined snapshot bit-reproducible.
+#[derive(Debug, Clone)]
+pub struct FigureMetrics {
+    /// The figure's title (matches [`Table::title`]).
+    pub title: String,
+    /// One entry per cell, in the figure's deterministic row order.
+    pub cells: Vec<CellMetrics>,
+}
+
+impl FigureMetrics {
+    /// Fold every cell snapshot into one figure-level snapshot,
+    /// deterministically (cells merge in row order).
+    pub fn merged(&self) -> Snapshot {
+        let mut out = Snapshot::default();
+        for cell in &self.cells {
+            out.merge(&cell.snapshot);
+        }
+        out
+    }
+
+    /// Deterministic JSON: the figure title, each cell's snapshot, and the
+    /// merged figure-level snapshot.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"label\": \"{}\", \"metrics\": {}}}",
+                    esc(&c.label),
+                    c.snapshot.to_json()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"title\": \"{}\", \"cells\": [{}], \"merged\": {}}}",
+            esc(&self.title),
+            cells.join(", "),
+            self.merged().to_json()
+        )
+    }
+}
+
+/// The two sides of the span-decomposition identity for one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayDecomposition {
+    /// Mean per-packet delay from the `end_to_end` span, seconds.
+    pub end_to_end_mean_s: f64,
+    /// The five pipeline-stage span totals (enqueue + encrypt + DCF backoff
+    /// + transmit + TCP retransmit) divided by the end-to-end count, seconds.
+    pub stage_sum_mean_s: f64,
+}
+
+impl DelayDecomposition {
+    /// Absolute disagreement between the two sides, seconds.
+    pub fn residual_s(&self) -> f64 {
+        (self.end_to_end_mean_s - self.stage_sum_mean_s).abs()
+    }
+}
+
+/// Check the decomposition identity on a snapshot: the per-stage span
+/// totals must re-assemble the end-to-end delay the figures report.
+/// `None` when the snapshot recorded no end-to-end span.
+pub fn delay_decomposition(snap: &Snapshot) -> Option<DelayDecomposition> {
+    let e2e = snap.span(Stage::EndToEnd)?;
+    if e2e.count == 0 {
+        return None;
+    }
+    let stage_total: f64 = [
+        Stage::Enqueue,
+        Stage::Encrypt,
+        Stage::DcfBackoff,
+        Stage::Transmit,
+        Stage::TcpRetransmit,
+    ]
+    .iter()
+    .map(|&s| snap.span(s).map_or(0.0, |sp| sp.total_s))
+    .sum();
+    Some(DelayDecomposition {
+        end_to_end_mean_s: e2e.mean_s(),
+        stage_sum_mean_s: stage_total / e2e.count as f64,
+    })
+}
+
 /// Figure 2: average distortion (MSE) vs reference distance for the three
 /// motion classes, with the degree-5 fit beside the measurement.
 pub fn fig2() -> Table {
@@ -301,6 +401,19 @@ pub fn fig5(gop: usize, effort: Effort) -> Table {
 /// Figures 7 (Samsung) and 8 (HTC): per-packet delay, analysis vs
 /// experiment, for AES-256 and 3DES at both GOP sizes.
 pub fn fig7_8(device: DeviceSpec, power: PowerProfile, effort: Effort) -> Table {
+    fig7_8_with(device, power, effort, false).0
+}
+
+/// [`fig7_8`] with optional telemetry: when `metrics` is on, every cell runs
+/// against its own registry and the per-cell snapshots come back alongside
+/// the table (in row order). With `metrics` off the table is bit-identical
+/// to [`fig7_8`]'s — metering consumes no RNG draws.
+pub fn fig7_8_with(
+    device: DeviceSpec,
+    power: PowerProfile,
+    effort: Effort,
+    metrics: bool,
+) -> (Table, Option<FigureMetrics>) {
     let mut cells = Vec::new();
     for alg in [Algorithm::Aes256, Algorithm::TripleDes] {
         for gop in GOPS {
@@ -311,28 +424,44 @@ pub fn fig7_8(device: DeviceSpec, power: PowerProfile, effort: Effort) -> Table 
             }
         }
     }
-    let rows = par_map(&cells, |&(alg, gop, label, motion, mode)| {
+    let results = par_map(&cells, |&(alg, gop, label, motion, mode)| {
         let policy = Policy::new(alg, mode);
         let cfg = cell(motion, gop, policy, device, power, Transport::RtpUdp, effort);
         let exp = Experiment::prepare(cfg);
         let analysis = DelayModel::new(&exp.params).predict(policy).unwrap();
-        let result = exp.run();
-        Row {
+        let registry = MetricsRegistry::new(metrics);
+        let result = exp.run_metered(&registry);
+        let row = Row {
             label: format!("{alg}, GOP {gop}, {label}, {}", mode.label()),
             values: vec![
                 ("analysis delay (ms)".into(), analysis.mean_delay_s * 1e3),
                 ("experiment delay (ms)".into(), result.delay_s.mean * 1e3),
                 ("±95% CI (ms)".into(), result.delay_s.ci95 * 1e3),
             ],
-        }
+        };
+        (row, registry.snapshot())
     });
-    Table {
-        title: format!("Figures 7/8 — per-packet delay on the {}", device.name),
+    let title = format!("Figures 7/8 — per-packet delay on the {}", device.name);
+    let (rows, snapshots): (Vec<Row>, Vec<Snapshot>) = results.into_iter().unzip();
+    let figure_metrics = metrics.then(|| FigureMetrics {
+        title: title.clone(),
+        cells: rows
+            .iter()
+            .zip(snapshots)
+            .map(|(row, snapshot)| CellMetrics {
+                label: row.label.clone(),
+                snapshot,
+            })
+            .collect(),
+    });
+    let table = Table {
+        title,
         caption: "Paper: delay(none) < delay(I) < delay(P) ≤ delay(all); 3DES dominates \
                   AES-256; the faster HTC sits below the Samsung."
             .into(),
         rows,
-    }
+    };
+    (table, figure_metrics)
 }
 
 /// Figure 9a: delay vs fraction α of P packets encrypted on top of I.
@@ -376,8 +505,13 @@ pub fn fig9(effort: Effort) -> Table {
 
 /// Table 2: delay / PSNR / MOS for I and I+α%P on the Samsung (fast, GOP 30).
 pub fn table2(effort: Effort) -> Table {
+    table2_with(effort, false).0
+}
+
+/// [`table2`] with optional telemetry (see [`fig7_8_with`]).
+pub fn table2_with(effort: Effort, metrics: bool) -> (Table, Option<FigureMetrics>) {
     let alphas = [0.0, 0.10, 0.15, 0.20, 0.25, 0.30, 0.50];
-    let rows = par_map(&alphas, |&alpha| {
+    let results = par_map(&alphas, |&alpha| {
         let mode = if alpha == 0.0 {
             EncryptionMode::IFrames
         } else {
@@ -393,23 +527,39 @@ pub fn table2(effort: Effort) -> Table {
             Transport::RtpUdp,
             effort,
         );
-        let result = Experiment::prepare(cfg).run();
-        Row {
+        let registry = MetricsRegistry::new(metrics);
+        let result = Experiment::prepare(cfg).run_metered(&registry);
+        let row = Row {
             label: mode.label(),
             values: vec![
                 ("delay (ms)".into(), result.delay_s.mean * 1e3),
                 ("eavesdropper PSNR (dB)".into(), result.psnr_eve_db.mean),
                 ("eavesdropper MOS".into(), result.mos_eve.mean),
             ],
-        }
+        };
+        (row, registry.snapshot())
     });
-    Table {
-        title: "Table 2 — delay vs distortion, I + α·P (Samsung, fast, GOP 30)".into(),
+    let title = "Table 2 — delay vs distortion, I + α·P (Samsung, fast, GOP 30)".to_string();
+    let (rows, snapshots): (Vec<Row>, Vec<Snapshot>) = results.into_iter().unzip();
+    let figure_metrics = metrics.then(|| FigureMetrics {
+        title: title.clone(),
+        cells: rows
+            .iter()
+            .zip(snapshots)
+            .map(|(row, snapshot)| CellMetrics {
+                label: row.label.clone(),
+                snapshot,
+            })
+            .collect(),
+    });
+    let table = Table {
+        title,
         caption: "Paper: delay creeps from 48→62 ms while PSNR falls 20.7→16.0 dB and \
                   MOS 1.71→1.14; α = 20% already gives near-complete obfuscation."
             .into(),
         rows,
-    }
+    };
+    (table, figure_metrics)
 }
 
 /// Figures 10 (Samsung) and 11 (HTC): power per policy/GOP/motion/cipher.
@@ -460,6 +610,18 @@ pub fn fig10_11(power: PowerProfile, effort: Effort) -> Table {
 
 /// Figures 12/13: per-packet delay with HTTP/TCP.
 pub fn fig12_13(device: DeviceSpec, power: PowerProfile, effort: Effort) -> Table {
+    fig12_13_with(device, power, effort, false).0
+}
+
+/// [`fig12_13`] with optional telemetry (see [`fig7_8_with`]). On this
+/// transport the snapshots also carry the `tcp_retransmit` span and the
+/// `net.tcp.retransmissions` counter.
+pub fn fig12_13_with(
+    device: DeviceSpec,
+    power: PowerProfile,
+    effort: Effort,
+    metrics: bool,
+) -> (Table, Option<FigureMetrics>) {
     let mut cells = Vec::new();
     for alg in [Algorithm::Aes256, Algorithm::TripleDes] {
         for gop in GOPS {
@@ -470,25 +632,41 @@ pub fn fig12_13(device: DeviceSpec, power: PowerProfile, effort: Effort) -> Tabl
             }
         }
     }
-    let rows = par_map(&cells, |&(alg, gop, label, motion, mode)| {
+    let results = par_map(&cells, |&(alg, gop, label, motion, mode)| {
         let policy = Policy::new(alg, mode);
         let cfg = cell(motion, gop, policy, device, power, Transport::HttpTcp, effort);
-        let result = Experiment::prepare(cfg).run();
-        Row {
+        let registry = MetricsRegistry::new(metrics);
+        let result = Experiment::prepare(cfg).run_metered(&registry);
+        let row = Row {
             label: format!("{alg}, GOP {gop}, {label}, {}", mode.label()),
             values: vec![
                 ("delay (ms)".into(), result.delay_s.mean * 1e3),
                 ("±95% CI (ms)".into(), result.delay_s.ci95 * 1e3),
             ],
-        }
+        };
+        (row, registry.snapshot())
     });
-    Table {
-        title: format!("Figures 12/13 — HTTP/TCP delay on the {}", device.name),
+    let title = format!("Figures 12/13 — HTTP/TCP delay on the {}", device.name);
+    let (rows, snapshots): (Vec<Row>, Vec<Snapshot>) = results.into_iter().unzip();
+    let figure_metrics = metrics.then(|| FigureMetrics {
+        title: title.clone(),
+        cells: rows
+            .iter()
+            .zip(snapshots)
+            .map(|(row, snapshot)| CellMetrics {
+                label: row.label.clone(),
+                snapshot,
+            })
+            .collect(),
+    });
+    let table = Table {
+        title,
         caption: "Paper: same ordering as RTP/UDP with slightly higher latency from \
                   TCP retransmissions."
             .into(),
         rows,
-    }
+    };
+    (table, figure_metrics)
 }
 
 /// Figures 14/15: eavesdropper distortion and MOS with HTTP/TCP.
@@ -1034,6 +1212,91 @@ mod tests {
                 row.label
             );
         }
+    }
+
+    /// Acceptance check: for every metered cell, the per-stage span totals
+    /// must re-assemble the mean end-to-end delay the figure reports, to
+    /// within 1e-9 s.
+    fn assert_decomposition(table: &Table, metrics: &FigureMetrics, delay_col: usize) {
+        assert_eq!(metrics.cells.len(), table.rows.len());
+        for (row, cell) in table.rows.iter().zip(&metrics.cells) {
+            assert_eq!(row.label, cell.label);
+            let d = delay_decomposition(&cell.snapshot)
+                .unwrap_or_else(|| panic!("{}: no end-to-end span", row.label));
+            assert!(
+                d.residual_s() < 1e-9,
+                "{}: stages {} vs end-to-end {}",
+                row.label,
+                d.stage_sum_mean_s,
+                d.end_to_end_mean_s
+            );
+            let reported_s = row.values[delay_col].1 / 1e3;
+            assert!(
+                (d.end_to_end_mean_s - reported_s).abs() < 1e-9,
+                "{}: span mean {} vs reported {}",
+                row.label,
+                d.end_to_end_mean_s,
+                reported_s
+            );
+        }
+    }
+
+    #[test]
+    fn table2_metrics_decompose_the_reported_delay() {
+        let (table, metrics) = table2_with(Effort::quick(), true);
+        let metrics = metrics.expect("metrics requested");
+        assert_decomposition(&table, &metrics, 0);
+        // The merged figure-level snapshot preserves the identity too.
+        let merged = delay_decomposition(&metrics.merged()).expect("merged span");
+        assert!(merged.residual_s() < 1e-9);
+    }
+
+    #[test]
+    fn fig12_13_metrics_decompose_under_tcp() {
+        let effort = Effort {
+            trials: 2,
+            frames: 90,
+        };
+        let (table, metrics) =
+            fig12_13_with(SAMSUNG_GALAXY_S2, SAMSUNG_GALAXY_S2_POWER, effort, true);
+        let metrics = metrics.expect("metrics requested");
+        assert_decomposition(&table, &metrics, 0);
+        // TCP cells must carry retransmission telemetry.
+        let merged = metrics.merged();
+        assert!(merged.counter("net.tcp.retransmissions") > 0);
+        assert!(
+            merged
+                .span(thrifty_telemetry::Stage::TcpRetransmit)
+                .is_some(),
+            "TCP transport must record the retransmit span"
+        );
+    }
+
+    #[test]
+    fn metered_figure_json_is_deterministic_and_wellformed() {
+        let effort = Effort {
+            trials: 2,
+            frames: 60,
+        };
+        let (_, m) = table2_with(effort, true);
+        let json = m.expect("metrics requested").to_json();
+        assert!(json.starts_with("{\"title\": \"Table 2"));
+        assert!(json.contains("\"merged\": {"));
+        assert!(json.contains("\"end_to_end\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let (_, m2) = table2_with(effort, true);
+        assert_eq!(json, m2.expect("metrics").to_json(), "byte-identical reruns");
+    }
+
+    #[test]
+    fn metrics_off_returns_no_snapshots() {
+        let effort = Effort {
+            trials: 1,
+            frames: 60,
+        };
+        let (table, metrics) = table2_with(effort, false);
+        assert!(metrics.is_none());
+        assert_eq!(table.rows.len(), 7);
     }
 
     #[test]

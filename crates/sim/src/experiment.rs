@@ -150,7 +150,34 @@ impl Experiment {
     }
 
     /// Run all trials and aggregate.
+    ///
+    /// Equivalent to [`run_metered`](Self::run_metered) with a disabled
+    /// registry: same RNG draws, same result, no metrics.
     pub fn run(&self) -> ExperimentResult {
+        self.run_metered(&thrifty_telemetry::MetricsRegistry::disabled())
+    }
+
+    /// Run all trials, reporting spans, counters and the per-packet delay
+    /// histogram into `metrics`.
+    ///
+    /// The sender records the [`Enqueue`], [`Encrypt`], [`DcfBackoff`] and
+    /// [`Transmit`] spans; on the TCP transport a [`MeteredTcp`] adds the
+    /// [`TcpRetransmit`] span. This harness records one [`EndToEnd`] span
+    /// interval and one `sim.packet_delay_s` histogram sample per packet
+    /// *after* the TCP adjustment, so the five stage totals decompose the
+    /// end-to-end total exactly. Metering consumes no RNG draws: results
+    /// are bit-identical to [`run`](Self::run).
+    ///
+    /// [`Enqueue`]: thrifty_telemetry::Stage::Enqueue
+    /// [`Encrypt`]: thrifty_telemetry::Stage::Encrypt
+    /// [`DcfBackoff`]: thrifty_telemetry::Stage::DcfBackoff
+    /// [`Transmit`]: thrifty_telemetry::Stage::Transmit
+    /// [`TcpRetransmit`]: thrifty_telemetry::Stage::TcpRetransmit
+    /// [`EndToEnd`]: thrifty_telemetry::Stage::EndToEnd
+    /// [`MeteredTcp`]: thrifty_net::tcp::MeteredTcp
+    pub fn run_metered(&self, metrics: &thrifty_telemetry::MetricsRegistry) -> ExperimentResult {
+        use thrifty_net::tcp::MeteredTcp;
+        use thrifty_telemetry::Stage;
         let cfg = &self.config;
         let mut params = self.params.clone();
         let tcp = match cfg.transport {
@@ -160,9 +187,11 @@ impl Experiment {
                 // becomes (near) certain but head-of-line latency appears.
                 params.mac_retries = 7;
                 let tcp_loss = 1.0 - self.params.delivery_rate();
-                Some(TcpLatencyModel::new(tcp_loss, 0.01))
+                Some(MeteredTcp::new(TcpLatencyModel::new(tcp_loss, 0.01), metrics))
             }
         };
+        let gops_dropped_eve = metrics.counter("sim.gops_dropped_eve");
+        let delay_hist = metrics.histogram("sim.packet_delay_s");
         let sens = cfg.motion.sensitivity_fraction();
         // Decoders bootstrap partial pictures from P-frame intra refresh.
         let decoder = RefreshingDecoder::new(cfg.motion.p_refresh_fraction());
@@ -177,8 +206,8 @@ impl Experiment {
         for trial in 0..cfg.trials {
             let mut rng = StdRng::seed_from_u64(cfg.seed + 1000 + trial as u64);
             let sim = SenderSim::new(&params, cfg.policy);
-            let mut summary = sim.run(&self.stream, &mut rng);
-            if let Some(model) = tcp {
+            let mut summary = sim.run_metered(&self.stream, &mut rng, metrics);
+            if let Some(model) = &tcp {
                 for r in summary.records.iter_mut() {
                     r.service_s += model.sample_extra_delay_s(&mut rng);
                 }
@@ -186,12 +215,25 @@ impl Experiment {
                 summary.mean_delay_s =
                     summary.records.iter().map(|r| r.delay_s()).sum::<f64>() / n;
             }
+            // End-to-end telemetry is recorded after the TCP adjustment so
+            // the stage spans decompose exactly what the figures report.
+            for r in &summary.records {
+                metrics.record_span(Stage::EndToEnd, r.delay_s());
+                delay_hist.record(r.delay_s());
+            }
             delays.push(summary.mean_delay_s);
             enc_times.push(summary.mean_encryption_s);
             q_sum += summary.capture.encrypted_fraction();
 
             let rx_flags = summary.receiver_frame_flags(cfg.frames, sens);
             let eve_flags = summary.eavesdropper_frame_flags(cfg.frames, sens);
+            // A GOP is "dropped" for the eavesdropper when not a single one
+            // of its frames is decodable — the paper's security outcome.
+            let dropped = eve_flags
+                .chunks(cfg.gop_size)
+                .filter(|gop| !gop.iter().any(|&ok| ok))
+                .count();
+            gops_dropped_eve.add(dropped as u64);
             let rx_rec = decoder.reconstruct(&self.clip, &rx_flags, cfg.gop_size);
             let eve_rec = decoder.reconstruct(&self.clip, &eve_flags, cfg.gop_size);
             let rx_q = measure_quality(&self.clip, &rx_rec);
@@ -278,6 +320,92 @@ mod tests {
         let i = quick(MotionLevel::High, EncryptionMode::IFrames, Transport::RtpUdp).power_w;
         let all = quick(MotionLevel::High, EncryptionMode::All, Transport::RtpUdp).power_w;
         assert!(none < i && i < all);
+    }
+
+    #[test]
+    fn metered_run_reproduces_unmetered_result() {
+        use thrifty_telemetry::MetricsRegistry;
+        let mut cfg = ExperimentConfig::paper_cell(
+            MotionLevel::High,
+            30,
+            Policy::new(Algorithm::Aes256, EncryptionMode::IFrames),
+        );
+        cfg.trials = 2;
+        cfg.frames = 90;
+        cfg.transport = Transport::HttpTcp;
+        let exp = Experiment::prepare(cfg);
+        let plain = exp.run();
+        let metrics = MetricsRegistry::enabled();
+        let metered = exp.run_metered(&metrics);
+        assert_eq!(
+            metered.delay_s.mean.to_bits(),
+            plain.delay_s.mean.to_bits(),
+            "metering must not change the figures"
+        );
+        assert_eq!(metered.psnr_eve_db.mean.to_bits(), plain.psnr_eve_db.mean.to_bits());
+        assert!(metrics.snapshot().counter("net.tcp.retransmissions") > 0);
+    }
+
+    #[test]
+    fn stage_spans_decompose_end_to_end_delay() {
+        use thrifty_telemetry::{MetricsRegistry, Stage};
+        for transport in [Transport::RtpUdp, Transport::HttpTcp] {
+            let mut cfg = ExperimentConfig::paper_cell(
+                MotionLevel::Low,
+                30,
+                Policy::new(Algorithm::Aes256, EncryptionMode::IPlusFractionP(0.3)),
+            );
+            cfg.trials = 2;
+            cfg.frames = 90;
+            cfg.transport = transport;
+            let metrics = MetricsRegistry::enabled();
+            let result = Experiment::prepare(cfg).run_metered(&metrics);
+            let snap = metrics.snapshot();
+            let e2e = snap.span(Stage::EndToEnd).expect("end-to-end span");
+            let stage_total: f64 = [
+                Stage::Enqueue,
+                Stage::Encrypt,
+                Stage::DcfBackoff,
+                Stage::Transmit,
+                Stage::TcpRetransmit,
+            ]
+            .iter()
+            .map(|&s| snap.span(s).map_or(0.0, |sp| sp.total_s))
+            .sum();
+            let decomposed_mean = stage_total / e2e.count as f64;
+            assert!(
+                (decomposed_mean - e2e.mean_s()).abs() < 1e-9,
+                "{transport:?}: stages {decomposed_mean} vs e2e {}",
+                e2e.mean_s()
+            );
+            // The figure-level mean is the mean of per-trial means; with a
+            // fixed packet count per trial it equals the global span mean.
+            assert!(
+                (result.delay_s.mean - e2e.mean_s()).abs() < 1e-9,
+                "{transport:?}: figure {} vs span {}",
+                result.delay_s.mean,
+                e2e.mean_s()
+            );
+            let hist = snap.histogram("sim.packet_delay_s").expect("delay histogram");
+            assert_eq!(hist.count(), e2e.count);
+        }
+    }
+
+    #[test]
+    fn eavesdropper_gop_drops_are_counted() {
+        use thrifty_telemetry::MetricsRegistry;
+        let mut cfg = ExperimentConfig::paper_cell(
+            MotionLevel::Low,
+            30,
+            Policy::new(Algorithm::Aes256, EncryptionMode::All),
+        );
+        cfg.trials = 2;
+        cfg.frames = 90;
+        let metrics = MetricsRegistry::enabled();
+        Experiment::prepare(cfg).run_metered(&metrics);
+        // Full encryption blinds the eavesdropper: every GOP of every trial
+        // (3 GOPs × 2 trials) must be dropped.
+        assert_eq!(metrics.snapshot().counter("sim.gops_dropped_eve"), 6);
     }
 
     #[test]

@@ -131,7 +131,31 @@ fn frag_header(frame: u32, frag: u16, total: u16) -> [u8; FRAG_HEADER_LEN] {
 ///
 /// The shared symmetric key models the pre-established secret of the threat
 /// model (Section 3): the receiver has it, the eavesdropper does not.
+///
+/// Equivalent to [`run_pipeline_metered`] with a disabled registry.
 pub fn run_pipeline(frames: Vec<InputFrame>, config: PipelineConfig) -> PipelineOutcome {
+    run_pipeline_metered(
+        frames,
+        config,
+        &thrifty_telemetry::MetricsRegistry::disabled(),
+    )
+}
+
+/// Run the full pipeline, counting traffic into `metrics`.
+///
+/// Counter handles are cloned into the worker threads (they are `Arc`-backed
+/// atomics), so the threaded testbed reports without any extra
+/// synchronisation: `pipeline.packets_sent` / `pipeline.packets_encrypted`
+/// from the encryptor, `net.channel.delivered` / `net.channel.lost` from the
+/// air thread, and real `crypto.{segments,bytes}_{encrypted,decrypted}.*`
+/// counts from the [`MeteredSegmentCipher`]s on both sides of the channel.
+/// Spans are deliberately absent here: the threaded testbed runs on wall
+/// clock, and sim-time spans belong to the discrete-event side.
+pub fn run_pipeline_metered(
+    frames: Vec<InputFrame>,
+    config: PipelineConfig,
+    metrics: &thrifty_telemetry::MetricsRegistry,
+) -> PipelineOutcome {
     let key = [0x42u8; 32];
     let cipher = SegmentCipher::new(config.policy.algorithm, &key)
         .expect("32-byte key fits every algorithm");
@@ -154,7 +178,9 @@ pub fn run_pipeline(frames: Vec<InputFrame>, config: PipelineConfig) -> Pipeline
     });
 
     let policy = config.policy;
-    let enc_cipher = cipher.clone();
+    let enc_cipher = cipher.clone().metered(metrics);
+    let pipeline_sent = metrics.counter("pipeline.packets_sent");
+    let pipeline_encrypted = metrics.counter("pipeline.packets_encrypted");
     let encryptor = std::thread::spawn(move || {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut seq: u16 = 0;
@@ -192,6 +218,7 @@ pub fn run_pipeline(frames: Vec<InputFrame>, config: PipelineConfig) -> Pipeline
                 return (sent, encrypted);
             }
             sent += 1;
+            pipeline_sent.inc();
             seq = seq.wrapping_add(1);
         }
         while let Ok(frame) = frame_rx.recv() {
@@ -211,6 +238,7 @@ pub fn run_pipeline(frames: Vec<InputFrame>, config: PipelineConfig) -> Pipeline
                     let body = &mut payload[FRAG_HEADER_LEN..];
                     enc_cipher.encrypt_segment(seq as u64, body);
                     encrypted += 1;
+                    pipeline_encrypted.inc();
                 }
                 let rtp = RtpHeader {
                     marker: encrypt_frame,
@@ -224,6 +252,7 @@ pub fn run_pipeline(frames: Vec<InputFrame>, config: PipelineConfig) -> Pipeline
                     return (sent, encrypted);
                 }
                 sent += 1;
+                pipeline_sent.inc();
                 seq = seq.wrapping_add(1);
             }
         }
@@ -236,15 +265,19 @@ pub fn run_pipeline(frames: Vec<InputFrame>, config: PipelineConfig) -> Pipeline
     let loss_prob = config.loss_prob;
     let loss_seed = config.seed ^ 0xA1B2;
     let reorder_window = config.reorder_window;
+    let air_delivered = metrics.counter("net.channel.delivered");
+    let air_lost = metrics.counter("net.channel.lost");
     let air = std::thread::spawn(move || {
         let mut rng = StdRng::seed_from_u64(loss_seed);
         let mut shuffle: Vec<Vec<u8>> = Vec::with_capacity(reorder_window + 1);
         let deliver = |pkt: Vec<u8>| {
+            air_delivered.inc();
             let _ = rx_tx.send(pkt.clone());
             let _ = eve_tx.send(pkt);
         };
         while let Ok(pkt) = air_rx.recv() {
             if loss_prob > 0.0 && rng.gen_bool(loss_prob) {
+                air_lost.inc();
                 continue; // lost on the air: nobody hears it
             }
             if reorder_window == 0 {
@@ -268,7 +301,7 @@ pub fn run_pipeline(frames: Vec<InputFrame>, config: PipelineConfig) -> Pipeline
     type FragmentStore = Arc<Mutex<BTreeMap<usize, BTreeMap<u16, Vec<u8>>>>>;
     fn observe(
         rx: channel::Receiver<Vec<u8>>,
-        cipher: Option<SegmentCipher>,
+        cipher: Option<thrifty_crypto::MeteredSegmentCipher>,
         out: FragmentStore,
         totals: Arc<Mutex<BTreeMap<usize, u16>>>,
     ) -> std::thread::JoinHandle<()> {
@@ -306,7 +339,12 @@ pub fn run_pipeline(frames: Vec<InputFrame>, config: PipelineConfig) -> Pipeline
     let rx_totals = Arc::new(Mutex::new(BTreeMap::new()));
     let eve_frames = Arc::new(Mutex::new(BTreeMap::new()));
     let eve_totals = Arc::new(Mutex::new(BTreeMap::new()));
-    let rx_thread = observe(rx_rx, Some(cipher), rx_frames.clone(), rx_totals.clone());
+    let rx_thread = observe(
+        rx_rx,
+        Some(cipher.metered(metrics)),
+        rx_frames.clone(),
+        rx_totals.clone(),
+    );
     let eve_thread = observe(eve_rx, None, eve_frames.clone(), eve_totals.clone());
 
     producer.join().expect("producer thread panicked");
@@ -477,6 +515,35 @@ mod tests {
         assert_eq!(out.receiver.frames_ok.len(), 30);
         assert_eq!(out.eavesdropper.frames_damaged, vec![0, 10, 20]);
         assert!(out.receiver_sps.is_some());
+    }
+
+    #[test]
+    fn metered_pipeline_counts_real_traffic() {
+        use thrifty_telemetry::MetricsRegistry;
+        let metrics = MetricsRegistry::enabled();
+        let out = run_pipeline_metered(frames(30, 10), config(EncryptionMode::IFrames, 0.2), &metrics);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("pipeline.packets_sent"), out.packets_sent as u64);
+        assert_eq!(
+            snap.counter("pipeline.packets_encrypted"),
+            out.packets_encrypted as u64
+        );
+        assert_eq!(
+            snap.counter("net.channel.delivered") + snap.counter("net.channel.lost"),
+            out.packets_sent as u64
+        );
+        assert!(snap.counter("net.channel.lost") > 0, "20% loss must bite");
+        // The encryptor counted real cipher work; the receiver decrypted
+        // only what survived the channel.
+        assert_eq!(
+            snap.counter("crypto.segments_encrypted.AES256"),
+            out.packets_encrypted as u64
+        );
+        assert!(
+            snap.counter("crypto.segments_decrypted.AES256")
+                <= snap.counter("crypto.segments_encrypted.AES256")
+        );
+        assert!(snap.counter("crypto.bytes_encrypted.AES256") > 0);
     }
 
     #[test]

@@ -148,7 +148,31 @@ impl<'a> SenderSim<'a> {
     }
 
     /// Run the pipeline over a coded stream.
+    ///
+    /// Equivalent to [`run_metered`](Self::run_metered) with a disabled
+    /// registry: same RNG draws, same records, no metrics.
     pub fn run<R: Rng + ?Sized>(&self, stream: &EncodedStream, rng: &mut R) -> SenderSummary {
+        self.run_metered(stream, rng, &thrifty_telemetry::MetricsRegistry::disabled())
+    }
+
+    /// Run the pipeline, reporting per-stage spans and counters into
+    /// `metrics`.
+    ///
+    /// Every packet contributes one interval to each of the
+    /// [`Enqueue`](Stage::Enqueue), [`Encrypt`](Stage::Encrypt),
+    /// [`DcfBackoff`](Stage::DcfBackoff) and [`Transmit`](Stage::Transmit)
+    /// spans, and those four intervals sum **exactly** to the packet's
+    /// queueing + service delay — the decomposition the figure-level
+    /// telemetry cross-checks against the reported means. Metering draws
+    /// nothing from `rng`, so a seeded run is bit-identical with metrics on
+    /// or off.
+    pub fn run_metered<R: Rng + ?Sized>(
+        &self,
+        stream: &EncodedStream,
+        rng: &mut R,
+        metrics: &thrifty_telemetry::MetricsRegistry,
+    ) -> SenderSummary {
+        use thrifty_telemetry::Stage;
         let packets = Packetizer::default().packetize(stream);
         let arrivals = self.arrival_times(&packets, stream, rng);
         let delivery = self.params.delivery_rate();
@@ -156,6 +180,18 @@ impl<'a> SenderSim<'a> {
         let jitter = self.params.jitter_rel;
         let p_s = self.params.dcf.packet_success_rate;
         let backoff_rate = self.params.dcf.backoff_rate_hz;
+
+        // Counter handles are acquired once; per-packet cost is a relaxed
+        // atomic add (nothing at all when the registry is disabled).
+        let packets_i = metrics.counter("sim.packets.I");
+        let packets_p = metrics.counter("sim.packets.P");
+        let packets_encrypted = metrics.counter("sim.packets.encrypted");
+        let packets_delivered = metrics.counter("sim.packets.delivered");
+        let packets_lost = metrics.counter("sim.packets.lost");
+        let bytes_encrypted = metrics.counter(&format!(
+            "sim.bytes_encrypted.{}",
+            self.policy.algorithm.name()
+        ));
 
         let mut records = Vec::with_capacity(packets.len());
         let mut capture = PacketCapture::new();
@@ -192,6 +228,23 @@ impl<'a> SenderSim<'a> {
 
             sum_delay += wait + service;
             sum_enc += enc_time;
+            metrics.record_span(Stage::Enqueue, wait);
+            metrics.record_span(Stage::Encrypt, enc_time);
+            metrics.record_span(Stage::DcfBackoff, backoff);
+            metrics.record_span(Stage::Transmit, tx);
+            match pkt.ftype {
+                FrameType::I => packets_i.inc(),
+                FrameType::P => packets_p.inc(),
+            }
+            if encrypted {
+                packets_encrypted.inc();
+                bytes_encrypted.add(pkt.bytes as u64);
+            }
+            if delivered {
+                packets_delivered.inc();
+            } else {
+                packets_lost.inc();
+            }
             capture.record(CapturedPacket {
                 seq: pkt.seq,
                 frame_index: pkt.frame_index,
@@ -425,6 +478,61 @@ mod tests {
         let i = mean(EncryptionMode::IFrames, &mut rng);
         let p = mean(EncryptionMode::PFrames, &mut rng);
         assert!(p > i, "closed loop: P {p} should exceed I {i}");
+    }
+
+    #[test]
+    fn metered_run_is_bit_identical_to_unmetered() {
+        use thrifty_telemetry::MetricsRegistry;
+        let (params, stream, policy) = setup(EncryptionMode::IFrames);
+        let mut rng = StdRng::seed_from_u64(31);
+        let plain = SenderSim::new(&params, policy).run(&stream, &mut rng);
+        let metrics = MetricsRegistry::enabled();
+        let mut rng = StdRng::seed_from_u64(31);
+        let metered = SenderSim::new(&params, policy).run_metered(&stream, &mut rng, &metrics);
+        assert_eq!(metered.records, plain.records);
+        assert_eq!(metered.mean_delay_s.to_bits(), plain.mean_delay_s.to_bits());
+    }
+
+    #[test]
+    fn span_decomposition_sums_to_the_reported_delay() {
+        use thrifty_telemetry::{MetricsRegistry, Stage};
+        let (params, stream, policy) = setup(EncryptionMode::IPlusFractionP(0.4));
+        let metrics = MetricsRegistry::enabled();
+        let mut rng = StdRng::seed_from_u64(32);
+        let summary = SenderSim::new(&params, policy).run_metered(&stream, &mut rng, &metrics);
+        let snap = metrics.snapshot();
+        let stage_total: f64 = [
+            Stage::Enqueue,
+            Stage::Encrypt,
+            Stage::DcfBackoff,
+            Stage::Transmit,
+        ]
+        .iter()
+        .map(|&s| snap.span(s).map_or(0.0, |sp| sp.total_s))
+        .sum();
+        let n = summary.records.len() as f64;
+        assert!(
+            (stage_total / n - summary.mean_delay_s).abs() < 1e-9,
+            "per-stage sum {} vs mean delay {}",
+            stage_total / n,
+            summary.mean_delay_s
+        );
+        // Counter cross-checks against the record vector.
+        let enc = summary.records.iter().filter(|r| r.encrypted).count() as u64;
+        assert_eq!(snap.counter("sim.packets.encrypted"), enc);
+        assert_eq!(
+            snap.counter("sim.packets.I") + snap.counter("sim.packets.P"),
+            summary.records.len() as u64
+        );
+        let lost = summary.records.iter().filter(|r| !r.delivered).count() as u64;
+        assert_eq!(snap.counter("sim.packets.lost"), lost);
+        let enc_bytes: u64 = summary
+            .records
+            .iter()
+            .filter(|r| r.encrypted)
+            .map(|r| r.bytes as u64)
+            .sum();
+        assert_eq!(snap.counter("sim.bytes_encrypted.AES256"), enc_bytes);
     }
 
     #[test]

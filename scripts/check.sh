@@ -16,4 +16,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo bench -p thrifty-bench -- --test (smoke)"
 cargo bench -p thrifty-bench -- --test
 
+echo "==> reproduce determinism (metered double run must be byte-identical)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./target/release/reproduce table2 fig12 --no-bench-json \
+  --metrics "$tmp/metrics_a.json" > "$tmp/out_a.txt"
+./target/release/reproduce table2 fig12 --no-bench-json \
+  --metrics "$tmp/metrics_b.json" > "$tmp/out_b.txt"
+cmp "$tmp/out_a.txt" "$tmp/out_b.txt"
+cmp "$tmp/metrics_a.json" "$tmp/metrics_b.json"
+./target/release/reproduce table2 fig12 --no-bench-json > "$tmp/out_plain.txt"
+cmp "$tmp/out_a.txt" "$tmp/out_plain.txt"
+
 echo "All checks passed."
