@@ -1,0 +1,641 @@
+//! The fault matrix: hostile-channel robustness sweep for the real-bytes
+//! pipeline (`reproduce faults`).
+//!
+//! Sweeps every fault class of [`thrifty_faults::FaultPlan`] (plus a clean
+//! baseline) across **both channel models** (i.i.d. Bernoulli — the eq. (20)
+//! assumption — and bursty Gilbert–Elliott) and **both transports** (RTP/UDP
+//! via the threaded pipeline, the §6.4 marker-option TCP framing via a
+//! segment-level harness). Every cell:
+//!
+//! * runs **twice from the same seed** and checks the outcomes agree bit for
+//!   bit (the `reproducible` column);
+//! * runs a **clean twin** (same seed and channel, empty plan) and verifies
+//!   the faulty output either matches it or degrades to a **quantified PSNR
+//!   loss** (`ΔPSNR` column, via the paper's concealment decoder of
+//!   Section 4.3.2) — never a panic or a deadlock;
+//! * captures a **telemetry snapshot** (fault counters, channel counters,
+//!   erasure counters) into its own registry, merged per-figure like the
+//!   delay figures.
+//!
+//! Intact frames are *byte-identical* to the transmitted originals by
+//! construction (reassembly compares payloads), so "frames intact" counts
+//! exact recoveries and everything else is concealed damage.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use thrifty_faults::{FaultPlan, FaultStats, FaultyChannel, QueueFaults, ReceiverFaults, Region};
+use thrifty_net::tcp::TcpSegment;
+use thrifty_net::wire::{FragmentHeader, FRAG_HEADER_LEN};
+use thrifty_net::{BernoulliChannel, GilbertElliottChannel, LossChannel};
+use thrifty_sim::pipeline::{run_pipeline_faulty, AirChannel, InputFrame, PipelineConfig};
+use thrifty_telemetry::MetricsRegistry;
+use thrifty_video::nal::write_annex_b;
+use thrifty_video::quality::{measure_quality, ConcealingDecoder};
+use thrifty_video::scene::{SceneConfig, SceneGenerator};
+use thrifty_video::{FrameType, MotionLevel};
+
+use crate::parallel::par_map;
+use crate::{CellMetrics, Effort, FigureMetrics, Row, Table};
+
+/// GOP structure of the fault-matrix clip.
+const GOP: usize = 10;
+/// TCP fixed header + the 4-byte marker option block.
+const TCP_HEADER_LEN: usize = 24;
+
+/// The fault classes of the matrix, in row order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Empty plan — the clean control row (ΔPSNR must be exactly 0).
+    Baseline,
+    /// Per-packet bit flips (headers and payloads).
+    Corruption,
+    /// Packets cut short mid-payload.
+    Truncation,
+    /// Packets delivered twice.
+    Duplication,
+    /// Packets released out of order in bursts.
+    Reordering,
+    /// Gilbert–Elliott loss episodes layered on the channel.
+    BurstLoss,
+    /// Producer outpaces the encryptor at the bounded queue.
+    QueueOverflow,
+    /// Receiver decrypts with an out-of-date key.
+    StaleKey,
+}
+
+impl FaultClass {
+    /// Every class, in the matrix's deterministic row order.
+    pub const ALL: [FaultClass; 8] = [
+        FaultClass::Baseline,
+        FaultClass::Corruption,
+        FaultClass::Truncation,
+        FaultClass::Duplication,
+        FaultClass::Reordering,
+        FaultClass::BurstLoss,
+        FaultClass::QueueOverflow,
+        FaultClass::StaleKey,
+    ];
+
+    /// Row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::Baseline => "baseline",
+            FaultClass::Corruption => "corruption",
+            FaultClass::Truncation => "truncation",
+            FaultClass::Duplication => "duplication",
+            FaultClass::Reordering => "reordering",
+            FaultClass::BurstLoss => "burst-loss",
+            FaultClass::QueueOverflow => "queue-overflow",
+            FaultClass::StaleKey => "stale-key",
+        }
+    }
+
+    /// The seeded plan arming exactly this class.
+    pub fn plan(self, seed: u64) -> FaultPlan {
+        let base = FaultPlan::none(seed);
+        match self {
+            FaultClass::Baseline => base,
+            FaultClass::Corruption => base.with_corruption(0.1, Region::Anywhere, 8),
+            FaultClass::Truncation => base.with_truncation(0.08, 8),
+            FaultClass::Duplication => base.with_duplication(0.1),
+            FaultClass::Reordering => base.with_reordering(8),
+            FaultClass::BurstLoss => base.with_burst_loss(0.05, 0.3, 0.9),
+            FaultClass::QueueOverflow => base.with_queue_overflow(4, 0.6),
+            FaultClass::StaleKey => base.with_stale_key(0.15),
+        }
+    }
+}
+
+/// The two channel models of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelKind {
+    /// Independent per-packet loss (eq. (20)'s assumption).
+    Iid,
+    /// Two-state Gilbert–Elliott bursty loss.
+    Burst,
+}
+
+impl ChannelKind {
+    /// Both channel models, in column order.
+    pub const ALL: [ChannelKind; 2] = [ChannelKind::Iid, ChannelKind::Burst];
+
+    fn label(self) -> &'static str {
+        match self {
+            ChannelKind::Iid => "iid",
+            ChannelKind::Burst => "burst",
+        }
+    }
+
+    /// The pipeline's air-channel configuration for this model.
+    fn air(self) -> (f64, AirChannel) {
+        match self {
+            ChannelKind::Iid => (0.02, AirChannel::Iid),
+            ChannelKind::Burst => (
+                0.0,
+                AirChannel::Burst {
+                    p_gb: 0.03,
+                    p_bg: 0.3,
+                    good_success: 0.995,
+                    bad_success: 0.6,
+                },
+            ),
+        }
+    }
+
+    /// The matching [`LossChannel`] for the TCP harness.
+    fn loss_channel(self) -> EitherChannel {
+        match self {
+            ChannelKind::Iid => EitherChannel::Iid(BernoulliChannel::new(0.98)),
+            ChannelKind::Burst => {
+                EitherChannel::Burst(GilbertElliottChannel::new(0.03, 0.3, 0.995, 0.6))
+            }
+        }
+    }
+}
+
+/// The two transports of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// The threaded RTP/UDP real-bytes pipeline.
+    Udp,
+    /// The §6.4 TCP framing (marker option), segment-level harness with
+    /// retransmission of lost segments.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Both transports, in column order.
+    pub const ALL: [TransportKind; 2] = [TransportKind::Udp, TransportKind::Tcp];
+
+    fn label(self) -> &'static str {
+        match self {
+            TransportKind::Udp => "RTP/UDP",
+            TransportKind::Tcp => "HTTP/TCP",
+        }
+    }
+}
+
+/// Static dispatch over the two loss channels (the trait is not
+/// object-safe: `transmit` is generic over the RNG).
+enum EitherChannel {
+    Iid(BernoulliChannel),
+    Burst(GilbertElliottChannel),
+}
+
+impl LossChannel for EitherChannel {
+    fn transmit<R: rand::Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        match self {
+            EitherChannel::Iid(c) => c.transmit(rng),
+            EitherChannel::Burst(c) => c.transmit(rng),
+        }
+    }
+
+    fn success_rate(&self) -> f64 {
+        match self {
+            EitherChannel::Iid(c) => c.success_rate(),
+            EitherChannel::Burst(c) => c.success_rate(),
+        }
+    }
+}
+
+/// What one matrix-cell run produced — everything the reproducibility and
+/// degradation checks compare.
+#[derive(Debug, Clone, PartialEq)]
+struct CellRun {
+    packets_sent: usize,
+    faults: FaultStats,
+    erasures: u64,
+    /// Per-frame exact-recovery flags, index = frame number.
+    received: Vec<bool>,
+}
+
+impl CellRun {
+    fn frames_intact(&self) -> usize {
+        self.received.iter().filter(|&&ok| ok).count()
+    }
+}
+
+/// The synthetic coded stream every cell transmits (deterministic).
+fn stream(frames: usize) -> Vec<InputFrame> {
+    (0..frames)
+        .map(|i| {
+            let ftype = if i % GOP == 0 { FrameType::I } else { FrameType::P };
+            let bytes = if ftype == FrameType::I { 8000 } else { 900 };
+            InputFrame::synthetic(i, ftype, bytes)
+        })
+        .collect()
+}
+
+/// Seed for a cell, mixed from its matrix coordinates so no two cells share
+/// fault-site streams.
+fn cell_seed(class: usize, chan: usize, transport: usize) -> u64 {
+    0xFA17_2026
+        ^ (class as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (chan as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ (transport as u64).wrapping_mul(0x85EB_CA6B)
+}
+
+/// One RTP/UDP cell: the threaded pipeline under the plan.
+fn run_udp(
+    frames: usize,
+    plan: &FaultPlan,
+    chan: ChannelKind,
+    seed: u64,
+    metrics: &MetricsRegistry,
+) -> CellRun {
+    let (loss_prob, channel) = chan.air();
+    let config = PipelineConfig {
+        loss_prob,
+        channel,
+        seed,
+        ..PipelineConfig::default()
+    };
+    let out = run_pipeline_faulty(stream(frames), config, plan, metrics)
+        .expect("fault matrix plans are valid; pipeline stages are panic-free");
+    let mut received = vec![false; frames];
+    for &f in &out.receiver.frames_ok {
+        if f < frames {
+            received[f] = true;
+        }
+    }
+    CellRun {
+        packets_sent: out.packets_sent,
+        faults: out.faults,
+        erasures: out.receiver_erasures.total(),
+        received,
+    }
+}
+
+/// One HTTP/TCP cell: frame fragments ride [`TcpSegment`]s with the marker
+/// option; segments the channel loses are retransmitted (reliable
+/// transport), segments the plan mangles arrive damaged and surface as
+/// erasures. I-frame segments are really encrypted and the marker drives
+/// the receiver's decryption — so the stale-key site bites here too.
+fn run_tcp(
+    frames: usize,
+    plan: &FaultPlan,
+    chan: ChannelKind,
+    seed: u64,
+    metrics: &MetricsRegistry,
+) -> CellRun {
+    let cipher = thrifty_crypto::SegmentCipher::new(thrifty_crypto::Algorithm::Aes256, &[0x42; 32])
+        .expect("32-byte key fits AES-256");
+    let stale = thrifty_crypto::SegmentCipher::new(thrifty_crypto::Algorithm::Aes256, &[0xA5; 32])
+        .expect("32-byte key fits AES-256");
+    let input = stream(frames);
+    let originals: BTreeMap<usize, Vec<u8>> = input
+        .iter()
+        .map(|f| (f.index, f.nal.payload.clone()))
+        .collect();
+
+    // Producer side: bounded-queue admission, then segmentation.
+    let mut queue = QueueFaults::new(plan, metrics);
+    let mut wire: Vec<Vec<u8>> = Vec::new();
+    let mut seg_index: u32 = 0;
+    for frame in &input {
+        if !queue.admit() {
+            continue; // dropped before transmission
+        }
+        let annex_b = write_annex_b(std::slice::from_ref(&frame.nal));
+        let chunks: Vec<&[u8]> = annex_b.chunks(1400).collect();
+        let total = chunks.len() as u16;
+        let encrypt = frame.ftype == FrameType::I;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let mut payload = Vec::with_capacity(FRAG_HEADER_LEN + chunk.len());
+            payload
+                .extend_from_slice(&FragmentHeader::new(frame.index as u32, i as u16, total).emit());
+            payload.extend_from_slice(chunk);
+            if encrypt {
+                cipher.encrypt_segment(seg_index as u64, &mut payload[FRAG_HEADER_LEN..]);
+            }
+            wire.push(
+                TcpSegment {
+                    src_port: 5004,
+                    dst_port: 5004,
+                    seq: seg_index,
+                    ack: 0,
+                    encrypted_marker: encrypt,
+                    payload,
+                }
+                .emit(),
+            );
+            seg_index += 1;
+        }
+    }
+    let packets_sent = wire.len();
+
+    // The channel: losses are retransmitted (TCP's job), byte damage from
+    // the plan's sites survives (it passed the checksum in this model).
+    let mut faulty = FaultyChannel::new(chan.loss_channel(), plan, TCP_HEADER_LEN, metrics);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7C9);
+    let retransmissions = metrics.counter("net.tcp.retransmissions");
+    let mut receiver_faults = ReceiverFaults::new(plan, metrics);
+    let mut erasures: u64 = 0;
+    let mut store: BTreeMap<usize, BTreeMap<u16, Vec<u8>>> = BTreeMap::new();
+    let mut totals: BTreeMap<usize, u16> = BTreeMap::new();
+    let mut deliver = |blob: Vec<u8>| {
+        let Ok(seg) = TcpSegment::parse(&blob) else {
+            erasures += 1;
+            return;
+        };
+        let mut payload = seg.payload;
+        if payload.len() < FRAG_HEADER_LEN {
+            erasures += 1;
+            return;
+        }
+        if seg.encrypted_marker {
+            let key = if receiver_faults.stale_hit() { &stale } else { &cipher };
+            key.decrypt_segment(seg.seq as u64, &mut payload[FRAG_HEADER_LEN..]);
+        }
+        let Ok((fh, body)) = FragmentHeader::parse(&payload) else {
+            erasures += 1;
+            return;
+        };
+        totals.insert(fh.frame as usize, fh.total);
+        store
+            .entry(fh.frame as usize)
+            .or_default()
+            .insert(fh.frag, body.to_vec());
+    };
+    for segment in wire {
+        while !faulty.transmit(&mut rng) {
+            retransmissions.inc(); // reliable transport: try again
+        }
+        for blob in faulty.mangle(segment) {
+            deliver(blob);
+        }
+    }
+    for blob in faulty.drain() {
+        deliver(blob);
+    }
+
+    // Reassembly: a frame is intact iff every fragment arrived and the
+    // concatenation parses back to the original NAL payload byte-for-byte.
+    let mut received = vec![false; frames];
+    for (&frame, original) in &originals {
+        let complete = totals.get(&frame).is_some_and(|&total| {
+            store
+                .get(&frame)
+                .is_some_and(|frags| frags.len() == total as usize)
+        });
+        if !complete {
+            continue;
+        }
+        let mut annex_b = Vec::new();
+        for chunk in store[&frame].values() {
+            annex_b.extend_from_slice(chunk);
+        }
+        if let Ok(units) = thrifty_video::nal::parse_annex_b(&annex_b) {
+            if units.len() == 1 && &units[0].payload == original {
+                received[frame] = true;
+            }
+        }
+    }
+    let mut faults = faulty.stats();
+    faults.merge(&queue.stats());
+    faults.merge(&receiver_faults.stats());
+    CellRun {
+        packets_sent,
+        faults,
+        erasures,
+        received,
+    }
+}
+
+fn run_cell(
+    frames: usize,
+    class: FaultClass,
+    chan: ChannelKind,
+    transport: TransportKind,
+    seed: u64,
+    metrics: &MetricsRegistry,
+) -> CellRun {
+    let plan = class.plan(seed);
+    match transport {
+        TransportKind::Udp => run_udp(frames, &plan, chan, seed, metrics),
+        TransportKind::Tcp => run_tcp(frames, &plan, chan, seed, metrics),
+    }
+}
+
+/// PSNR of the concealed reconstruction implied by `received`, against a
+/// deterministic QCIF clip (the paper's concealment decoder, eq. (28)).
+fn concealed_psnr(clip: &[thrifty_video::yuv::YuvFrame], received: &[bool]) -> f64 {
+    let reconstructed = ConcealingDecoder.reconstruct(clip, received, GOP);
+    measure_quality(clip, &reconstructed).psnr_of_mean_mse
+}
+
+/// Generate the fault matrix: every fault class × channel model × transport.
+///
+/// Always metered — the returned [`FigureMetrics`] carries one snapshot per
+/// cell (in row order) plus the merged figure. Each cell seeds its own RNGs
+/// from its matrix coordinates, so [`par_map`] evaluation cannot perturb the
+/// values and two invocations agree bit for bit.
+pub fn fault_matrix(effort: Effort) -> (Table, FigureMetrics) {
+    let frames = effort.frames.clamp(40, 120);
+    let clip = SceneGenerator::new(SceneConfig::qcif(MotionLevel::High, 7)).clip(frames);
+    let mut cells = Vec::new();
+    for (ti, transport) in TransportKind::ALL.into_iter().enumerate() {
+        for (ci, chan) in ChannelKind::ALL.into_iter().enumerate() {
+            for (fi, class) in FaultClass::ALL.into_iter().enumerate() {
+                cells.push((class, chan, transport, cell_seed(fi, ci, ti)));
+            }
+        }
+    }
+    let results = par_map(&cells, |&(class, chan, transport, seed)| {
+        let metrics = MetricsRegistry::enabled();
+        let run = run_cell(frames, class, chan, transport, seed, &metrics);
+        // Determinism gate: the same seed must reproduce the run bit for
+        // bit (fresh registry: telemetry must not feed back into behaviour).
+        let rerun = run_cell(frames, class, chan, transport, seed, &MetricsRegistry::enabled());
+        let reproducible = run == rerun;
+        // Degradation gate: the clean twin (same seed/channel, empty plan)
+        // bounds the faulty run from above — faults only remove frames.
+        let clean = run_cell(
+            frames,
+            FaultClass::Baseline,
+            chan,
+            transport,
+            seed,
+            &MetricsRegistry::disabled(),
+        );
+        let psnr = concealed_psnr(&clip, &run.received);
+        let clean_psnr = concealed_psnr(&clip, &clean.received);
+        let identical = run.received == clean.received;
+        let row = Row {
+            label: format!("{}, {}, {}", transport.label(), chan.label(), class.label()),
+            values: vec![
+                ("packets".into(), run.packets_sent as f64),
+                ("faults injected".into(), run.faults.total() as f64),
+                ("erasures".into(), run.erasures as f64),
+                ("frames intact".into(), run.frames_intact() as f64),
+                ("PSNR (dB)".into(), psnr),
+                ("ΔPSNR vs clean (dB)".into(), clean_psnr - psnr),
+                ("clean-identical".into(), identical as u8 as f64),
+                ("reproducible".into(), reproducible as u8 as f64),
+            ],
+        };
+        (row, metrics.snapshot())
+    });
+    let title = format!("Fault matrix — {frames}-frame clip, GOP {GOP}");
+    let (rows, snapshots): (Vec<Row>, Vec<_>) = results.into_iter().unzip();
+    let figure_metrics = FigureMetrics {
+        title: title.clone(),
+        cells: rows
+            .iter()
+            .zip(snapshots)
+            .map(|(row, snapshot)| CellMetrics {
+                label: row.label.clone(),
+                snapshot,
+            })
+            .collect(),
+    };
+    let table = Table {
+        title,
+        caption: "Every fault class × channel model × transport. Intact frames are \
+                  byte-identical to the transmitted originals; damaged frames are \
+                  concealed and the quality cost is the ΔPSNR column (clean twin minus \
+                  faulty run, same seed). `reproducible` = 1 means two runs from the \
+                  seed agreed bit for bit; `clean-identical` = 1 means the plan changed \
+                  nothing (baseline rows, and harmless faults like duplication over a \
+                  reliable transport)."
+            .into(),
+        rows,
+    };
+    (table, figure_metrics)
+}
+
+/// Assert the matrix's hard guarantees on a generated table; returns the
+/// violations (empty = pass). Used by the `reproduce faults` subcommand and
+/// the CI smoke sweep so a regression fails the run, not just the eyeball.
+pub fn verify_fault_matrix(table: &Table) -> Vec<String> {
+    let mut violations = Vec::new();
+    let col = |row: &Row, name: &str| -> f64 {
+        row.values
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN)
+    };
+    for row in &table.rows {
+        if col(row, "reproducible") != 1.0 {
+            violations.push(format!("{}: run was not bit-reproducible", row.label));
+        }
+        let delta = col(row, "ΔPSNR vs clean (dB)");
+        if delta.is_nan() || delta < -1e-9 {
+            violations.push(format!(
+                "{}: faulty run beat its clean twin (ΔPSNR = {delta})",
+                row.label
+            ));
+        }
+        if row.label.ends_with("baseline") {
+            if col(row, "clean-identical") != 1.0 {
+                violations.push(format!("{}: empty plan diverged from clean run", row.label));
+            }
+            if col(row, "faults injected") != 0.0 {
+                violations.push(format!("{}: empty plan injected faults", row.label));
+            }
+        } else if col(row, "faults injected") == 0.0 {
+            violations.push(format!("{}: armed plan injected nothing", row.label));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Effort {
+        Effort {
+            trials: 1,
+            frames: 40,
+        }
+    }
+
+    #[test]
+    fn matrix_covers_all_classes_channels_transports() {
+        let (table, metrics) = fault_matrix(tiny());
+        assert_eq!(
+            table.rows.len(),
+            FaultClass::ALL.len() * ChannelKind::ALL.len() * TransportKind::ALL.len()
+        );
+        assert_eq!(metrics.cells.len(), table.rows.len());
+        for class in FaultClass::ALL {
+            for transport in TransportKind::ALL {
+                assert!(
+                    table.rows.iter().any(|r| {
+                        r.label.starts_with(transport.label()) && r.label.ends_with(class.label())
+                    }),
+                    "missing {} × {}",
+                    transport.label(),
+                    class.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_passes_its_own_verification() {
+        let (table, _) = fault_matrix(tiny());
+        let violations = verify_fault_matrix(&table);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn matrix_is_deterministic_across_invocations() {
+        let (a, ma) = fault_matrix(tiny());
+        let (b, mb) = fault_matrix(tiny());
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.label, rb.label);
+            for ((ka, va), (kb, vb)) in ra.values.iter().zip(&rb.values) {
+                assert_eq!(ka, kb);
+                assert_eq!(va.to_bits(), vb.to_bits(), "{}/{ka}", ra.label);
+            }
+        }
+        assert_eq!(ma.to_json(), mb.to_json(), "telemetry must be byte-stable");
+    }
+
+    #[test]
+    fn cell_snapshots_count_the_armed_site() {
+        let (table, metrics) = fault_matrix(tiny());
+        for (row, cell) in table.rows.iter().zip(&metrics.cells) {
+            if row.label.ends_with("corruption") {
+                assert!(
+                    cell.snapshot.counter("faults.corrupted") > 0,
+                    "{}: corruption cell must meter its site",
+                    row.label
+                );
+            }
+            if row.label.ends_with("baseline") {
+                assert_eq!(
+                    cell.snapshot.counter("faults.corrupted"),
+                    0,
+                    "{}: baseline cell must stay silent",
+                    row.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_retransmits_instead_of_losing() {
+        // Over the reliable transport, pure channel loss costs retransmits
+        // but no frames: the baseline row recovers everything even on the
+        // bursty channel.
+        let frames = 40;
+        let metrics = MetricsRegistry::enabled();
+        let run = run_tcp(
+            frames,
+            &FaultClass::Baseline.plan(5),
+            ChannelKind::Burst,
+            5,
+            &metrics,
+        );
+        assert_eq!(run.frames_intact(), frames);
+        assert!(
+            metrics.snapshot().counter("net.tcp.retransmissions") > 0,
+            "a bursty channel must force retransmissions"
+        );
+    }
+}

@@ -20,9 +20,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod parallel;
 pub mod throughput;
 
+pub use faults::{fault_matrix, verify_fault_matrix, ChannelKind, FaultClass, TransportKind};
 pub use parallel::{par_flat_map, par_map};
 pub use throughput::{
     bench_cipher_json, measure_cipher_throughput, CipherThroughput, SEGMENT_LEN,

@@ -1,0 +1,201 @@
+//! [`FaultyChannel`] — a [`LossChannel`] wrapper with byte mangling.
+//!
+//! Layers the plan's burst-loss episodes on top of any inner channel
+//! (Bernoulli or Gilbert–Elliott) and carries the air-side
+//! [`PacketInjector`] as a **byte-mangling hook** for wire formats:
+//! transports that move real bytes (the RTP pipeline, the TCP fault
+//! matrix) pass every emitted packet through [`mangle`], and what comes
+//! out is what a hostile WLAN would deliver.
+//!
+//! Two RNG disciplines meet here deliberately: the inner channel draws
+//! from the **caller's** RNG (preserving the seeded experiment's draw
+//! sequence exactly — an unarmed `FaultyChannel` is transparent), while
+//! the overlay and the mangler draw only from their **own** per-site
+//! streams, so arming a fault never perturbs the underlying channel.
+
+use crate::injector::{FaultStats, PacketInjector};
+use crate::plan::{BurstLossFault, FaultPlan};
+use crate::rng::{site_rng, FaultSite};
+use rand::rngs::StdRng;
+use rand::Rng;
+use thrifty_net::LossChannel;
+
+/// A [`LossChannel`] with deterministic fault overlay and byte mangling.
+pub struct FaultyChannel<C: LossChannel> {
+    inner: C,
+    burst: Option<(BurstLossFault, StdRng, bool)>,
+    burst_lost_count: u64,
+    injector: PacketInjector,
+}
+
+impl<C: LossChannel> FaultyChannel<C> {
+    /// Wrap `inner` under `plan`. `header_len` bounds the corruption
+    /// regions of the mangling hook (e.g. `RTP_HEADER_LEN`, or the TCP
+    /// header length for segment streams).
+    ///
+    /// # Panics
+    /// If the plan fails [`FaultPlan::validate`] — validate first when the
+    /// plan comes from untrusted input.
+    pub fn new(
+        inner: C,
+        plan: &FaultPlan,
+        header_len: usize,
+        metrics: &thrifty_telemetry::MetricsRegistry,
+    ) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        // The injector handles everything except burst loss, which belongs
+        // to transmit() so it composes with the inner channel's verdict.
+        let mangler_plan = FaultPlan {
+            burst_loss: None,
+            ..*plan
+        };
+        FaultyChannel {
+            inner,
+            burst: plan
+                .burst_loss
+                .map(|b| (b, site_rng(plan.seed, FaultSite::BurstLoss), false)),
+            burst_lost_count: 0,
+            injector: PacketInjector::new(&mangler_plan, header_len, metrics),
+        }
+    }
+
+    /// The wrapped channel.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Byte-mangling hook: corruption, truncation, duplication and
+    /// reordering applied to one wire packet. Returns the packets released
+    /// downstream now (see [`PacketInjector::on_packet`]).
+    pub fn mangle(&mut self, pkt: Vec<u8>) -> Vec<Vec<u8>> {
+        self.injector.on_packet(pkt)
+    }
+
+    /// Flush the mangler's reordering buffer after the last packet.
+    pub fn drain(&mut self) -> Vec<Vec<u8>> {
+        self.injector.drain()
+    }
+
+    /// Combined counts from the overlay and the mangling hook.
+    pub fn stats(&self) -> FaultStats {
+        let mut s = self.injector.stats();
+        s.burst_lost += self.burst_lost_count;
+        s
+    }
+}
+
+impl<C: LossChannel> LossChannel for FaultyChannel<C> {
+    fn transmit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        // Inner channel first, from the caller's stream (transparency).
+        let survives_inner = self.inner.transmit(rng);
+        // Overlay second, from its own stream — advanced on *every* packet
+        // so the episode process is independent of the inner loss pattern.
+        let swallowed = match &mut self.burst {
+            None => false,
+            Some((cfg, site, in_burst)) => {
+                let flip = if *in_burst { cfg.p_exit } else { cfg.p_enter };
+                if site.gen_bool(flip) {
+                    *in_burst = !*in_burst;
+                }
+                *in_burst && site.gen_bool(cfg.loss_in_burst)
+            }
+        };
+        if swallowed {
+            self.burst_lost_count += 1;
+        }
+        survives_inner && !swallowed
+    }
+
+    fn success_rate(&self) -> f64 {
+        let overlay = self
+            .burst
+            .as_ref()
+            .map_or(1.0, |(cfg, _, _)| cfg.survival_rate());
+        self.inner.success_rate() * overlay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use thrifty_net::{BernoulliChannel, GilbertElliottChannel};
+    use thrifty_telemetry::MetricsRegistry;
+
+    #[test]
+    fn unarmed_channel_is_transparent() {
+        let metrics = MetricsRegistry::disabled();
+        let plan = FaultPlan::none(1);
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let mut bare = BernoulliChannel::new(0.8);
+        let mut wrapped = FaultyChannel::new(BernoulliChannel::new(0.8), &plan, 12, &metrics);
+        let a: Vec<bool> = (0..5_000).map(|_| bare.transmit(&mut rng_a)).collect();
+        let b: Vec<bool> = (0..5_000).map(|_| wrapped.transmit(&mut rng_b)).collect();
+        assert_eq!(a, b, "an empty plan must not perturb the inner channel");
+        assert_eq!(wrapped.success_rate(), 0.8);
+        let pkt = vec![7u8; 64];
+        assert_eq!(wrapped.mangle(pkt.clone()), vec![pkt]);
+    }
+
+    #[test]
+    fn burst_overlay_lowers_the_success_rate() {
+        let metrics = MetricsRegistry::disabled();
+        let plan = FaultPlan::none(2).with_burst_loss(0.1, 0.2, 1.0);
+        let mut ch = FaultyChannel::new(
+            GilbertElliottChannel::new(0.05, 0.2, 0.99, 0.5),
+            &plan,
+            12,
+            &metrics,
+        );
+        let analytic = ch.success_rate();
+        assert!(analytic < ch.inner().success_rate());
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let delivered = (0..n).filter(|_| ch.transmit(&mut rng)).count();
+        let empirical = delivered as f64 / n as f64;
+        assert!(
+            (empirical - analytic).abs() < 0.01,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+        assert!(ch.stats().burst_lost > 0);
+    }
+
+    #[test]
+    fn overlay_draws_do_not_touch_the_callers_stream() {
+        // With the overlay armed, the *inner* channel outcomes under the
+        // caller's seed must match the bare channel's exactly.
+        let metrics = MetricsRegistry::disabled();
+        let plan = FaultPlan::none(4).with_burst_loss(0.3, 0.3, 1.0);
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let mut bare = BernoulliChannel::new(0.6);
+        let mut wrapped = FaultyChannel::new(BernoulliChannel::new(0.6), &plan, 12, &metrics);
+        for _ in 0..2_000 {
+            let bare_ok = bare.transmit(&mut rng_a);
+            let wrapped_ok = wrapped.transmit(&mut rng_b);
+            // wrapped may only turn a delivery into a loss, never the
+            // reverse — and the caller-stream draws stay aligned.
+            if wrapped_ok {
+                assert!(bare_ok, "overlay cannot resurrect a lost packet");
+            }
+        }
+    }
+
+    #[test]
+    fn mangling_hook_applies_the_plan() {
+        let metrics = MetricsRegistry::disabled();
+        let plan = FaultPlan::none(6)
+            .with_corruption(1.0, crate::plan::Region::Anywhere, 1)
+            .with_duplication(1.0);
+        let mut ch = FaultyChannel::new(BernoulliChannel::new(1.0), &plan, 0, &metrics);
+        let out = ch.mangle(vec![0u8; 32]);
+        assert_eq!(out.len(), 2, "duplication must double the packet");
+        assert_ne!(out[0], vec![0u8; 32], "corruption must flip a bit");
+        let stats = ch.stats();
+        assert_eq!(stats.corrupted, 1);
+        assert_eq!(stats.duplicated, 1);
+    }
+}

@@ -18,6 +18,45 @@ pub trait LossChannel {
     fn success_rate(&self) -> f64;
 }
 
+/// Why a channel constructor rejected its parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChannelError {
+    /// A probability parameter was NaN or outside `[0, 1]`.
+    BadProbability {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value (possibly NaN).
+        value: f64,
+    },
+    /// Both transition probabilities are zero: the chain never leaves its
+    /// start state and the stationary distribution is undefined.
+    DegenerateChain,
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::BadProbability { what, value } => {
+                write!(f, "{what} = {value} is not a probability in [0, 1]")
+            }
+            ChannelError::DegenerateChain => {
+                write!(f, "p_gb + p_bg must be > 0 for an irreducible chain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// `Ok(value)` iff `value` is a real probability. NaN fails `contains`
+/// too, but is checked first so the error names it explicitly.
+fn checked_prob(what: &'static str, value: f64) -> Result<f64, ChannelError> {
+    if value.is_nan() || !(0.0..=1.0).contains(&value) {
+        return Err(ChannelError::BadProbability { what, value });
+    }
+    Ok(value)
+}
+
 /// Independent losses with fixed success probability.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BernoulliChannel {
@@ -26,13 +65,21 @@ pub struct BernoulliChannel {
 }
 
 impl BernoulliChannel {
-    /// Build a channel; panics unless `p_success ∈ [0, 1]`.
+    /// Build a channel, rejecting NaN and out-of-range probabilities with
+    /// a descriptive error.
+    pub fn try_new(p_success: f64) -> Result<Self, ChannelError> {
+        Ok(BernoulliChannel {
+            p_success: checked_prob("p_success", p_success)?,
+        })
+    }
+
+    /// Build a channel; panics unless `p_success ∈ [0, 1]`. Thin wrapper
+    /// over [`try_new`](Self::try_new) for trusted, hard-coded parameters.
     pub fn new(p_success: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&p_success),
-            "success probability must be in [0, 1]"
-        );
-        BernoulliChannel { p_success }
+        match Self::try_new(p_success) {
+            Ok(ch) => ch,
+            Err(e) => panic!("success probability must be in [0, 1]: {e}"),
+        }
     }
 }
 
@@ -62,23 +109,42 @@ pub struct GilbertElliottChannel {
 }
 
 impl GilbertElliottChannel {
-    /// Build a channel starting in the Good state.
-    pub fn new(p_gb: f64, p_bg: f64, good_success: f64, bad_success: f64) -> Self {
-        for (name, v) in [
-            ("p_gb", p_gb),
-            ("p_bg", p_bg),
-            ("good_success", good_success),
-            ("bad_success", bad_success),
-        ] {
-            assert!((0.0..=1.0).contains(&v), "{name} must be in [0, 1]");
+    /// Build a channel starting in the Good state, rejecting NaN and
+    /// out-of-range parameters with a descriptive error.
+    ///
+    /// NaN transition probabilities are caught here by name: a NaN `p_gb`
+    /// would otherwise defeat the `p_gb + p_bg > 0` irreducibility check
+    /// (any comparison with NaN is false) and surface much later as a
+    /// panic inside the per-packet Bernoulli draw.
+    pub fn try_new(
+        p_gb: f64,
+        p_bg: f64,
+        good_success: f64,
+        bad_success: f64,
+    ) -> Result<Self, ChannelError> {
+        let p_gb = checked_prob("p_gb", p_gb)?;
+        let p_bg = checked_prob("p_bg", p_bg)?;
+        let good_success = checked_prob("good_success", good_success)?;
+        let bad_success = checked_prob("bad_success", bad_success)?;
+        if p_gb + p_bg <= 0.0 {
+            return Err(ChannelError::DegenerateChain);
         }
-        assert!(p_gb + p_bg > 0.0, "chain must be irreducible");
-        GilbertElliottChannel {
+        Ok(GilbertElliottChannel {
             p_gb,
             p_bg,
             good_success,
             bad_success,
             in_good: true,
+        })
+    }
+
+    /// Build a channel starting in the Good state; panics on invalid
+    /// parameters. Thin wrapper over [`try_new`](Self::try_new) for
+    /// trusted, hard-coded parameters.
+    pub fn new(p_gb: f64, p_bg: f64, good_success: f64, bad_success: f64) -> Self {
+        match Self::try_new(p_gb, p_bg, good_success, bad_success) {
+            Ok(ch) => ch,
+            Err(e) => panic!("invalid Gilbert–Elliott parameters, must be in [0, 1]: {e}"),
         }
     }
 
@@ -235,6 +301,57 @@ mod tests {
     #[should_panic(expected = "must be in [0, 1]")]
     fn invalid_probability_rejected() {
         BernoulliChannel::new(1.5);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_probabilities_descriptively() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let err = BernoulliChannel::try_new(bad).expect_err("must reject");
+            match err {
+                ChannelError::BadProbability { what, .. } => assert_eq!(what, "p_success"),
+                other => panic!("expected BadProbability, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            BernoulliChannel::try_new(0.5).expect("valid probability").p_success,
+            0.5
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_try_new_rejects_nan_transitions() {
+        // NaN in a transition probability defeats every ordered comparison,
+        // so it must be rejected by name before the irreducibility check.
+        let err = GilbertElliottChannel::try_new(f64::NAN, 0.2, 0.9, 0.5)
+            .expect_err("NaN p_gb must be rejected");
+        match err {
+            ChannelError::BadProbability { what, value } => {
+                assert_eq!(what, "p_gb");
+                assert!(value.is_nan());
+            }
+            other => panic!("expected BadProbability, got {other:?}"),
+        }
+        let err = GilbertElliottChannel::try_new(0.1, f64::NAN, 0.9, 0.5)
+            .expect_err("NaN p_bg must be rejected");
+        assert!(matches!(err, ChannelError::BadProbability { what: "p_bg", .. }));
+        assert!(err.to_string().contains("NaN"), "{err}");
+    }
+
+    #[test]
+    fn gilbert_elliott_try_new_rejects_degenerate_chain() {
+        assert_eq!(
+            GilbertElliottChannel::try_new(0.0, 0.0, 1.0, 0.0),
+            Err(ChannelError::DegenerateChain)
+        );
+        let ch = GilbertElliottChannel::try_new(0.1, 0.3, 0.95, 0.2)
+            .expect("valid parameters must build");
+        assert!((ch.stationary_good() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn gilbert_elliott_new_panics_on_nan() {
+        GilbertElliottChannel::new(0.1, 0.2, f64::NAN, 0.5);
     }
 
     #[test]

@@ -34,8 +34,11 @@ pub mod traffic;
 pub mod wire;
 
 pub use capture::{CapturedPacket, PacketCapture};
-pub use channel::{BernoulliChannel, GilbertElliottChannel, LossChannel};
+pub use channel::{BernoulliChannel, ChannelError, GilbertElliottChannel, LossChannel};
 pub use dcf::{DcfModel, DcfSolution, PhyParams};
 pub use tcp::{TcpLatencyModel, TcpSegment};
 pub use traffic::{PaddingPolicy, SizeClass, SizeClassifier};
-pub use wire::{RtpHeader, RtpPacket, UdpHeader, RTP_HEADER_LEN, UDP_IP_OVERHEAD};
+pub use wire::{
+    FragmentHeader, RtpHeader, RtpPacket, UdpHeader, WireError, FRAG_HEADER_LEN, RTP_HEADER_LEN,
+    UDP_IP_OVERHEAD,
+};

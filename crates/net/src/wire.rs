@@ -26,6 +26,16 @@ pub enum WireError {
     },
     /// RTP version field is not 2.
     BadVersion(u8),
+    /// A UDP length field smaller than the 8-byte header itself.
+    BadLength(u16),
+    /// A fragmentation header with an impossible fragment geometry
+    /// (`total == 0`, or `frag >= total`).
+    BadFragment {
+        /// Fragment number carried on the wire.
+        frag: u16,
+        /// Advertised fragment count.
+        total: u16,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -35,6 +45,12 @@ impl std::fmt::Display for WireError {
                 write!(f, "truncated packet: need {need} bytes, got {got}")
             }
             WireError::BadVersion(v) => write!(f, "unsupported RTP version {v}"),
+            WireError::BadLength(l) => {
+                write!(f, "UDP length field {l} is below the 8-byte header")
+            }
+            WireError::BadFragment { frag, total } => {
+                write!(f, "impossible fragment geometry: fragment {frag} of {total}")
+            }
         }
     }
 }
@@ -166,6 +182,12 @@ impl UdpHeader {
             });
         }
         let length = u16::from_be_bytes([buffer[4], buffer[5]]);
+        // A length below the header's own 8 bytes would make the payload
+        // slice `[8..length]` inverted — reject it instead of panicking on
+        // a hostile datagram.
+        if length < 8 {
+            return Err(WireError::BadLength(length));
+        }
         if (length as usize) > buffer.len() {
             return Err(WireError::Truncated {
                 need: length as usize,
@@ -180,6 +202,67 @@ impl UdpHeader {
             },
             &buffer[8..length as usize],
         ))
+    }
+}
+
+/// Length of the pipeline fragmentation header, bytes.
+pub const FRAG_HEADER_LEN: usize = 8;
+
+/// The pipeline's fragmentation header — the role H.264 FU-A indicators
+/// play in RFC 6184: which frame a fragment belongs to, its position and
+/// the total fragment count, so reassembly never depends on arrival order.
+///
+/// Carried at the front of every RTP payload the threaded testbed emits.
+/// Parsing is fully defensive: hostile or corrupted bytes yield a
+/// descriptive [`WireError`], never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragmentHeader {
+    /// Absolute frame index (reserved values mark SPS/PPS lead-ins).
+    pub frame: u32,
+    /// Fragment number within the frame, `0..total`.
+    pub frag: u16,
+    /// Total fragments of the frame, `>= 1`.
+    pub total: u16,
+}
+
+impl FragmentHeader {
+    /// Build a header; callers are expected to keep `frag < total`.
+    pub fn new(frame: u32, frag: u16, total: u16) -> Self {
+        FragmentHeader { frame, frag, total }
+    }
+
+    /// Serialise to the 8-byte wire form.
+    pub fn emit(&self) -> [u8; FRAG_HEADER_LEN] {
+        let mut h = [0u8; FRAG_HEADER_LEN];
+        h[0..4].copy_from_slice(&self.frame.to_be_bytes());
+        h[4..6].copy_from_slice(&self.frag.to_be_bytes());
+        h[6..8].copy_from_slice(&self.total.to_be_bytes());
+        h
+    }
+
+    /// Parse a header off the front of `buffer`, returning it and the
+    /// fragment body. Rejects short buffers and impossible geometry
+    /// (`total == 0` or `frag >= total`) so a corrupted fragment becomes
+    /// an erasure upstream instead of poisoning reassembly state.
+    pub fn parse(buffer: &[u8]) -> Result<(FragmentHeader, &[u8]), WireError> {
+        if buffer.len() < FRAG_HEADER_LEN {
+            return Err(WireError::Truncated {
+                need: FRAG_HEADER_LEN,
+                got: buffer.len(),
+            });
+        }
+        let header = FragmentHeader {
+            frame: u32::from_be_bytes([buffer[0], buffer[1], buffer[2], buffer[3]]),
+            frag: u16::from_be_bytes([buffer[4], buffer[5]]),
+            total: u16::from_be_bytes([buffer[6], buffer[7]]),
+        };
+        if header.total == 0 || header.frag >= header.total {
+            return Err(WireError::BadFragment {
+                frag: header.frag,
+                total: header.total,
+            });
+        }
+        Ok((header, &buffer[FRAG_HEADER_LEN..]))
     }
 }
 
@@ -202,7 +285,7 @@ mod tests {
         let payload = b"encrypted video segment";
         let wire = header().emit(payload);
         assert_eq!(wire.len(), RTP_HEADER_LEN + payload.len());
-        let pkt = RtpPacket::parse(wire.as_slice()).unwrap();
+        let pkt = RtpPacket::parse(wire.as_slice()).expect("emitted RTP packet must parse");
         assert_eq!(pkt.header(), header());
         assert_eq!(pkt.payload(), payload);
     }
@@ -213,10 +296,10 @@ mod tests {
         h.marker = false;
         let mut wire = h.emit(b"plain");
         {
-            let pkt = RtpPacket::parse(wire.as_slice()).unwrap();
+            let pkt = RtpPacket::parse(wire.as_slice()).expect("clear-marker packet must parse");
             assert!(!pkt.header().marker);
         }
-        let mut pkt = RtpPacket::parse(wire.as_mut_slice()).unwrap();
+        let mut pkt = RtpPacket::parse(wire.as_mut_slice()).expect("mutable view must parse");
         pkt.set_marker(true);
         assert!(pkt.header().marker);
         // Setting the marker must not disturb the payload type.
@@ -228,7 +311,7 @@ mod tests {
     #[test]
     fn payload_mut_allows_inplace_decryption() {
         let mut wire = header().emit(&[0xFF; 8]);
-        let mut pkt = RtpPacket::parse(wire.as_mut_slice()).unwrap();
+        let mut pkt = RtpPacket::parse(wire.as_mut_slice()).expect("packet with 8-byte payload must parse");
         for b in pkt.payload_mut() {
             *b ^= 0xFF;
         }
@@ -261,7 +344,7 @@ mod tests {
             length: 0, // filled by emit
         };
         let wire = h.emit(b"datagram");
-        let (parsed, payload) = UdpHeader::parse(&wire).unwrap();
+        let (parsed, payload) = UdpHeader::parse(&wire).expect("emitted UDP datagram must parse");
         assert_eq!(parsed.src_port, 5004);
         assert_eq!(parsed.dst_port, 5006);
         assert_eq!(parsed.length as usize, 8 + 8);
@@ -283,5 +366,61 @@ mod tests {
     #[test]
     fn overhead_constant_matches_headers() {
         assert_eq!(UDP_IP_OVERHEAD, 8 + 20);
+    }
+
+    #[test]
+    fn udp_length_below_header_is_rejected_not_a_panic() {
+        // A hostile datagram advertising length < 8 used to invert the
+        // payload slice bounds; it must surface as a typed error.
+        let mut wire = UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+            length: 0,
+        }
+        .emit(b"payload");
+        wire[4] = 0;
+        wire[5] = 3; // length field = 3 < 8
+        assert_eq!(UdpHeader::parse(&wire), Err(WireError::BadLength(3)));
+    }
+
+    #[test]
+    fn fragment_header_roundtrip() {
+        let h = FragmentHeader::new(123_456, 3, 9);
+        let mut wire = h.emit().to_vec();
+        wire.extend_from_slice(b"fragment body");
+        let (parsed, body) =
+            FragmentHeader::parse(&wire).expect("emitted fragment header must parse");
+        assert_eq!(parsed, h);
+        assert_eq!(body, b"fragment body");
+    }
+
+    #[test]
+    fn fragment_header_rejects_short_buffers() {
+        for n in 0..FRAG_HEADER_LEN {
+            assert_eq!(
+                FragmentHeader::parse(&vec![0u8; n]),
+                Err(WireError::Truncated {
+                    need: FRAG_HEADER_LEN,
+                    got: n
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn fragment_header_rejects_impossible_geometry() {
+        // total == 0 (all-zero bytes) — the classic corrupted-header shape.
+        assert_eq!(
+            FragmentHeader::parse(&[0u8; 8]),
+            Err(WireError::BadFragment { frag: 0, total: 0 })
+        );
+        // frag >= total.
+        let wire = FragmentHeader::new(7, 5, 5).emit();
+        assert_eq!(
+            FragmentHeader::parse(&wire),
+            Err(WireError::BadFragment { frag: 5, total: 5 })
+        );
+        let msg = FragmentHeader::parse(&wire).unwrap_err().to_string();
+        assert!(msg.contains("fragment 5 of 5"), "{msg}");
     }
 }

@@ -10,9 +10,21 @@
 //! frames; an **eavesdropper** thread gets a copy of every packet but must
 //! treat marked ones as erasures.
 //!
-//! Fragments are carried behind a small fragmentation header (frame index,
-//! fragment number, fragment count) playing the role of H.264 FU-A
-//! fragmentation units.
+//! Fragments are carried behind a small fragmentation header
+//! ([`FragmentHeader`]: frame index, fragment number, fragment count)
+//! playing the role of H.264 FU-A fragmentation units.
+//!
+//! ## Robustness contract
+//!
+//! The testbed is built for hostile channels: every stage is panic-free on
+//! arbitrary input. Malformed RTP, fragmentation garbage, truncated
+//! packets and undecryptable payloads become **erasures** (counted in
+//! [`ErasureStats`]) that flow into frame damage and from there into the
+//! distortion model — never aborts. [`run_pipeline_faulty`] layers a
+//! seeded [`FaultPlan`] over the air, the producer queue and the
+//! receiver's key schedule; an empty plan is draw-free and byte-identical
+//! to the plain path, and any armed plan is bit-reproducible from its
+//! seed.
 
 use crossbeam::channel;
 use parking_lot::Mutex;
@@ -22,10 +34,31 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use thrifty_analytic::policy::Policy;
 use thrifty_crypto::SegmentCipher;
-use thrifty_net::wire::{RtpHeader, RtpPacket};
+use thrifty_faults::{FaultPlan, FaultStats, PacketInjector, QueueFaults, ReceiverFaults};
+use thrifty_net::wire::{FragmentHeader, RtpHeader, RtpPacket, FRAG_HEADER_LEN, RTP_HEADER_LEN};
+use thrifty_net::{GilbertElliottChannel, LossChannel};
 use thrifty_video::bitstream::{PictureParameterSet, SequenceParameterSet};
 use thrifty_video::nal::{parse_annex_b, write_annex_b, NalUnit, NalUnitType};
 use thrifty_video::FrameType;
+
+/// Loss process applied on the air.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AirChannel {
+    /// Independent per-packet loss with [`PipelineConfig::loss_prob`] —
+    /// the i.i.d. assumption of the paper's eq. (20).
+    Iid,
+    /// Two-state Gilbert–Elliott bursty loss (`loss_prob` is ignored).
+    Burst {
+        /// P(good → bad) per packet.
+        p_gb: f64,
+        /// P(bad → good) per packet.
+        p_bg: f64,
+        /// Delivery probability in the Good state.
+        good_success: f64,
+        /// Delivery probability in the Bad state.
+        bad_success: f64,
+    },
+}
 
 /// Configuration of a pipeline run.
 #[derive(Debug, Clone, Copy)]
@@ -34,7 +67,8 @@ pub struct PipelineConfig {
     pub policy: Policy,
     /// Maximum RTP payload per fragment (after the fragmentation header).
     pub mtu_payload: usize,
-    /// Independent per-packet loss probability on the air.
+    /// Independent per-packet loss probability on the air (used by
+    /// [`AirChannel::Iid`]).
     pub loss_prob: f64,
     /// RNG seed for policy draws and losses.
     pub seed: u64,
@@ -45,6 +79,8 @@ pub struct PipelineConfig {
     /// buffer of this size (0 = strictly in order). Real WLANs reorder
     /// across MAC retransmissions; reassembly must not depend on order.
     pub reorder_window: usize,
+    /// The loss process on the air.
+    pub channel: AirChannel,
 }
 
 impl Default for PipelineConfig {
@@ -59,6 +95,7 @@ impl Default for PipelineConfig {
             seed: 1,
             queue_depth: 8,
             reorder_window: 0,
+            channel: AirChannel::Iid,
         }
     }
 }
@@ -94,6 +131,65 @@ pub struct Reconstruction {
     pub frames_damaged: Vec<usize>,
 }
 
+/// Hostile-input events one observer absorbed as erasures instead of
+/// aborting on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErasureStats {
+    /// Packets whose RTP header failed to parse (truncation/corruption).
+    pub rtp_malformed: u64,
+    /// Packets whose fragmentation header was short or geometrically
+    /// impossible after (attempted) decryption.
+    pub frag_malformed: u64,
+    /// Marked packets the observer could not decrypt (the eavesdropper's
+    /// view of every encrypted packet).
+    pub marked_undecryptable: u64,
+}
+
+impl ErasureStats {
+    /// Total erasure events.
+    pub fn total(&self) -> u64 {
+        self.rtp_malformed + self.frag_malformed + self.marked_undecryptable
+    }
+}
+
+/// Why a pipeline run could not be carried out at all.
+///
+/// Runtime channel hostility is **not** an error — it degrades the
+/// reconstruction and is reported in [`PipelineOutcome`]. Errors are
+/// reserved for invalid setup and for a worker thread dying, which the
+/// panic-free contract treats as a bug worth surfacing, not unwinding
+/// through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The fault plan failed validation.
+    InvalidPlan(thrifty_faults::PlanError),
+    /// The burst channel parameters failed validation.
+    InvalidChannel(thrifty_net::ChannelError),
+    /// The cipher rejected the session key.
+    KeyRejected(thrifty_crypto::CryptoError),
+    /// A worker thread panicked (a bug — the stages are panic-free by
+    /// contract on arbitrary channel input).
+    StagePanicked {
+        /// Which stage died.
+        stage: &'static str,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::InvalidPlan(e) => write!(f, "invalid fault plan: {e}"),
+            PipelineError::InvalidChannel(e) => write!(f, "invalid air channel: {e}"),
+            PipelineError::KeyRejected(e) => write!(f, "cipher rejected session key: {e}"),
+            PipelineError::StagePanicked { stage } => {
+                write!(f, "pipeline stage '{stage}' panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
 /// Outcome of a pipeline run.
 #[derive(Debug, Clone)]
 pub struct PipelineOutcome {
@@ -110,22 +206,27 @@ pub struct PipelineOutcome {
     pub receiver_sps: Option<SequenceParameterSet>,
     /// The PPS the receiver parsed, likewise.
     pub receiver_pps: Option<PictureParameterSet>,
+    /// What the armed fault sites did (all zero for an empty plan).
+    pub faults: FaultStats,
+    /// Hostile input the receiver absorbed as erasures.
+    pub receiver_erasures: ErasureStats,
+    /// Hostile input the eavesdropper absorbed as erasures (its
+    /// `marked_undecryptable` count is by design every encrypted packet).
+    pub eavesdropper_erasures: ErasureStats,
+    /// Frames dropped at the bounded queue before ever reaching the
+    /// encryptor (queue-overflow fault).
+    pub frames_dropped_at_queue: Vec<usize>,
 }
-
-const FRAG_HEADER_LEN: usize = 8;
 
 /// Reserved fragment-header frame index carrying the SPS lead-in.
 const SPS_FRAME: u32 = u32::MAX;
 /// Reserved fragment-header frame index carrying the PPS lead-in.
 const PPS_FRAME: u32 = u32::MAX - 1;
 
-fn frag_header(frame: u32, frag: u16, total: u16) -> [u8; FRAG_HEADER_LEN] {
-    let mut h = [0u8; FRAG_HEADER_LEN];
-    h[0..4].copy_from_slice(&frame.to_be_bytes());
-    h[4..6].copy_from_slice(&frag.to_be_bytes());
-    h[6..8].copy_from_slice(&total.to_be_bytes());
-    h
-}
+/// The session key of the threat model's pre-established secret.
+const SESSION_KEY: [u8; 32] = [0x42u8; 32];
+/// An out-of-date key for the stale-key fault: same length, different bits.
+const STALE_KEY: [u8; 32] = [0xA5u8; 32];
 
 /// Run the full pipeline over `frames` with real encryption and framing.
 ///
@@ -148,17 +249,61 @@ pub fn run_pipeline(frames: Vec<InputFrame>, config: PipelineConfig) -> Pipeline
 /// synchronisation: `pipeline.packets_sent` / `pipeline.packets_encrypted`
 /// from the encryptor, `net.channel.delivered` / `net.channel.lost` from the
 /// air thread, and real `crypto.{segments,bytes}_{encrypted,decrypted}.*`
-/// counts from the [`MeteredSegmentCipher`]s on both sides of the channel.
-/// Spans are deliberately absent here: the threaded testbed runs on wall
-/// clock, and sim-time spans belong to the discrete-event side.
+/// counts from the [`MeteredSegmentCipher`](thrifty_crypto::MeteredSegmentCipher)s
+/// on both sides of the channel. Spans are deliberately absent here: the
+/// threaded testbed runs on wall clock, and sim-time spans belong to the
+/// discrete-event side.
 pub fn run_pipeline_metered(
     frames: Vec<InputFrame>,
     config: PipelineConfig,
     metrics: &thrifty_telemetry::MetricsRegistry,
 ) -> PipelineOutcome {
-    let key = [0x42u8; 32];
-    let cipher = SegmentCipher::new(config.policy.algorithm, &key)
-        .expect("32-byte key fits every algorithm");
+    match run_pipeline_faulty(frames, config, &FaultPlan::default(), metrics) {
+        Ok(outcome) => outcome,
+        Err(e) => unreachable!("fault-free pipeline run failed: {e}"),
+    }
+}
+
+/// Run the full pipeline under a seeded [`FaultPlan`].
+///
+/// The plan's sites are threaded to the stages that own them: corruption,
+/// truncation, duplication, reordering bursts and burst-loss episodes act
+/// on the air; queue overflow acts at the producer's bounded queue; stale
+/// keys act at the receiver's decryptor. Every armed site draws from its
+/// own seeded stream, so the run is **bit-reproducible** from
+/// `(config.seed, plan)`; an **empty plan consumes no randomness** and the
+/// outcome is byte-identical to [`run_pipeline_metered`].
+///
+/// Channel hostility degrades the output (erasures → damaged frames), it
+/// never panics. `Err` is returned only for invalid setup
+/// ([`PipelineError::InvalidPlan`], [`PipelineError::InvalidChannel`],
+/// [`PipelineError::KeyRejected`]) or a worker-thread bug
+/// ([`PipelineError::StagePanicked`]).
+pub fn run_pipeline_faulty(
+    frames: Vec<InputFrame>,
+    config: PipelineConfig,
+    plan: &FaultPlan,
+    metrics: &thrifty_telemetry::MetricsRegistry,
+) -> Result<PipelineOutcome, PipelineError> {
+    plan.validate().map_err(PipelineError::InvalidPlan)?;
+    // Validate burst parameters up front so the air thread cannot die on a
+    // NaN probability mid-run.
+    let burst_channel = match config.channel {
+        AirChannel::Iid => None,
+        AirChannel::Burst {
+            p_gb,
+            p_bg,
+            good_success,
+            bad_success,
+        } => Some(
+            GilbertElliottChannel::try_new(p_gb, p_bg, good_success, bad_success)
+                .map_err(PipelineError::InvalidChannel)?,
+        ),
+    };
+    let cipher =
+        SegmentCipher::new(config.policy.algorithm, &SESSION_KEY).map_err(PipelineError::KeyRejected)?;
+    let stale_cipher = SegmentCipher::new(config.policy.algorithm, &STALE_KEY)
+        .map_err(PipelineError::KeyRejected)?;
     let originals: BTreeMap<usize, Vec<u8>> = frames
         .iter()
         .map(|f| (f.index, f.nal.payload.clone()))
@@ -169,12 +314,22 @@ pub fn run_pipeline_metered(
     // Encryptor → air: every packet is seen by both observers (broadcast).
     let (air_tx, air_rx) = channel::unbounded::<Vec<u8>>();
 
+    let mut queue_faults = QueueFaults::new(plan, metrics);
     let producer = std::thread::spawn(move || {
+        let mut dropped: Vec<usize> = Vec::new();
         for f in frames {
+            if !queue_faults.admit() {
+                // Producer outpaced the encryptor: the frame never reaches
+                // the queue. The stream continues — graceful degradation,
+                // not an abort.
+                dropped.push(f.index);
+                continue;
+            }
             if frame_tx.send(f).is_err() {
                 break;
             }
         }
+        (queue_faults.stats(), dropped)
     });
 
     let policy = config.policy;
@@ -204,7 +359,7 @@ pub fn run_pipeline_metered(
         ] {
             let annex_b = write_annex_b(std::slice::from_ref(&unit));
             let mut payload = Vec::with_capacity(FRAG_HEADER_LEN + annex_b.len());
-            payload.extend_from_slice(&frag_header(reserved, 0, 1));
+            payload.extend_from_slice(&FragmentHeader::new(reserved, 0, 1).emit());
             payload.extend_from_slice(&annex_b);
             let rtp = RtpHeader {
                 marker: false,
@@ -230,7 +385,9 @@ pub fn run_pipeline_metered(
             let encrypt_frame = policy.mode.should_encrypt(frame.ftype, unit);
             for (i, chunk) in chunks.iter().enumerate() {
                 let mut payload = Vec::with_capacity(FRAG_HEADER_LEN + chunk.len());
-                payload.extend_from_slice(&frag_header(frame.index as u32, i as u16, total));
+                payload.extend_from_slice(
+                    &FragmentHeader::new(frame.index as u32, i as u16, total).emit(),
+                );
                 payload.extend_from_slice(chunk);
                 if encrypt_frame {
                     // OFB per segment, keyed by the global sequence number —
@@ -259,27 +416,29 @@ pub fn run_pipeline_metered(
         (sent, encrypted)
     });
 
-    // The air: apply loss once per packet, then copy to both observers.
+    // The air: apply loss once per packet, pass survivors through the
+    // fault injector (corruption, truncation, duplication, reordering
+    // bursts, burst-loss episodes), then copy to both observers.
     let (rx_tx, rx_rx) = channel::unbounded::<Vec<u8>>();
     let (eve_tx, eve_rx) = channel::unbounded::<Vec<u8>>();
     let loss_prob = config.loss_prob;
     let loss_seed = config.seed ^ 0xA1B2;
     let reorder_window = config.reorder_window;
+    let mut injector = PacketInjector::new(plan, RTP_HEADER_LEN, metrics);
     let air_delivered = metrics.counter("net.channel.delivered");
     let air_lost = metrics.counter("net.channel.lost");
     let air = std::thread::spawn(move || {
         let mut rng = StdRng::seed_from_u64(loss_seed);
+        let mut ge = burst_channel;
         let mut shuffle: Vec<Vec<u8>> = Vec::with_capacity(reorder_window + 1);
         let deliver = |pkt: Vec<u8>| {
             air_delivered.inc();
             let _ = rx_tx.send(pkt.clone());
             let _ = eve_tx.send(pkt);
         };
-        while let Ok(pkt) = air_rx.recv() {
-            if loss_prob > 0.0 && rng.gen_bool(loss_prob) {
-                air_lost.inc();
-                continue; // lost on the air: nobody hears it
-            }
+        // Release a packet past the legacy reordering window (config-level,
+        // distinct from the plan's reordering-burst site).
+        let release = |pkt: Vec<u8>, shuffle: &mut Vec<Vec<u8>>, rng: &mut StdRng| {
             if reorder_window == 0 {
                 deliver(pkt);
             } else {
@@ -289,49 +448,106 @@ pub fn run_pipeline_metered(
                     deliver(shuffle.swap_remove(idx));
                 }
             }
+        };
+        while let Ok(pkt) = air_rx.recv() {
+            let lost = match &mut ge {
+                // Preserve the historical draw pattern: no draw at all for
+                // a loss-free i.i.d. channel.
+                None => loss_prob > 0.0 && rng.gen_bool(loss_prob),
+                Some(ch) => !ch.transmit(&mut rng),
+            };
+            if lost {
+                air_lost.inc();
+                continue; // lost on the air: nobody hears it
+            }
+            for survivor in injector.on_packet(pkt) {
+                release(survivor, &mut shuffle, &mut rng);
+            }
+        }
+        for survivor in injector.drain() {
+            release(survivor, &mut shuffle, &mut rng);
         }
         while !shuffle.is_empty() {
             let idx = rng.gen_range(0..shuffle.len());
             deliver(shuffle.swap_remove(idx));
         }
+        injector.stats()
     });
 
-    // Observer threads: reassemble frames from fragments.
+    // Observer threads: reassemble frames from fragments. Everything a
+    // hostile channel can hand them — garbage RTP, mangled fragmentation
+    // headers, undecryptable payloads — is absorbed as a counted erasure.
     /// Per-frame fragment store: frame index → fragment number → bytes.
     type FragmentStore = Arc<Mutex<BTreeMap<usize, BTreeMap<u16, Vec<u8>>>>>;
+    /// The receiver's decryption context: the session cipher, the plan's
+    /// stale-key site and the out-of-date cipher it swaps in on a hit.
+    struct DecryptContext {
+        cipher: thrifty_crypto::MeteredSegmentCipher,
+        faults: ReceiverFaults,
+        stale_cipher: SegmentCipher,
+    }
     fn observe(
         rx: channel::Receiver<Vec<u8>>,
-        cipher: Option<thrifty_crypto::MeteredSegmentCipher>,
+        mut decrypt: Option<DecryptContext>,
         out: FragmentStore,
         totals: Arc<Mutex<BTreeMap<usize, u16>>>,
-    ) -> std::thread::JoinHandle<()> {
+        erasure_counter: thrifty_telemetry::Counter,
+    ) -> std::thread::JoinHandle<(ErasureStats, FaultStats)> {
         std::thread::spawn(move || {
+            let mut erasures = ErasureStats::default();
             while let Ok(wire) = rx.recv() {
                 let Ok(pkt) = RtpPacket::parse(wire.as_slice()) else {
+                    erasures.rtp_malformed += 1;
+                    erasure_counter.inc();
                     continue;
                 };
                 let header = pkt.header();
                 let mut payload = pkt.payload().to_vec();
                 if header.marker {
-                    match &cipher {
-                        Some(c) => {
-                            c.decrypt_segment(header.sequence as u64, &mut payload[FRAG_HEADER_LEN..])
+                    match &mut decrypt {
+                        Some(ctx) => {
+                            if payload.len() < FRAG_HEADER_LEN {
+                                // Too short to carry a fragment at all.
+                                erasures.frag_malformed += 1;
+                                erasure_counter.inc();
+                                continue;
+                            }
+                            let body = &mut payload[FRAG_HEADER_LEN..];
+                            if ctx.faults.stale_hit() {
+                                // Out-of-date key: decryption "succeeds"
+                                // but produces garbage, which the Annex-B
+                                // reassembly rejects downstream.
+                                ctx.stale_cipher.decrypt_segment(header.sequence as u64, body);
+                            } else {
+                                ctx.cipher.decrypt_segment(header.sequence as u64, body);
+                            }
                         }
-                        None => continue, // eavesdropper: erasure
+                        None => {
+                            // Eavesdropper: every marked packet is an
+                            // erasure by construction of the threat model.
+                            erasures.marked_undecryptable += 1;
+                            continue;
+                        }
                     }
                 }
-                if payload.len() < FRAG_HEADER_LEN {
-                    continue;
-                }
-                let frame = u32::from_be_bytes(payload[0..4].try_into().unwrap()) as usize;
-                let frag = u16::from_be_bytes(payload[4..6].try_into().unwrap());
-                let total = u16::from_be_bytes(payload[6..8].try_into().unwrap());
-                totals.lock().insert(frame, total);
+                let (frag_header, body) = match FragmentHeader::parse(&payload) {
+                    Ok(parsed) => parsed,
+                    Err(_) => {
+                        erasures.frag_malformed += 1;
+                        erasure_counter.inc();
+                        continue;
+                    }
+                };
+                totals.lock().insert(frag_header.frame as usize, frag_header.total);
                 out.lock()
-                    .entry(frame)
+                    .entry(frag_header.frame as usize)
                     .or_default()
-                    .insert(frag, payload[FRAG_HEADER_LEN..].to_vec());
+                    .insert(frag_header.frag, body.to_vec());
             }
+            let faults = decrypt
+                .map(|ctx| ctx.faults.stats())
+                .unwrap_or_default();
+            (erasures, faults)
         })
     }
 
@@ -341,17 +557,36 @@ pub fn run_pipeline_metered(
     let eve_totals = Arc::new(Mutex::new(BTreeMap::new()));
     let rx_thread = observe(
         rx_rx,
-        Some(cipher.metered(metrics)),
+        Some(DecryptContext {
+            cipher: cipher.metered(metrics),
+            faults: ReceiverFaults::new(plan, metrics),
+            stale_cipher,
+        }),
         rx_frames.clone(),
         rx_totals.clone(),
+        metrics.counter("pipeline.erasures.receiver"),
     );
-    let eve_thread = observe(eve_rx, None, eve_frames.clone(), eve_totals.clone());
+    let eve_thread = observe(
+        eve_rx,
+        None,
+        eve_frames.clone(),
+        eve_totals.clone(),
+        metrics.counter("pipeline.erasures.eavesdropper"),
+    );
 
-    producer.join().expect("producer thread panicked");
-    let (packets_sent, packets_encrypted) = encryptor.join().expect("encryptor panicked");
-    air.join().expect("air thread panicked");
-    rx_thread.join().expect("receiver panicked");
-    eve_thread.join().expect("eavesdropper panicked");
+    let stage = |name: &'static str| PipelineError::StagePanicked { stage: name };
+    let (queue_stats, frames_dropped_at_queue) =
+        producer.join().map_err(|_| stage("producer"))?;
+    let (packets_sent, packets_encrypted) = encryptor.join().map_err(|_| stage("encryptor"))?;
+    let air_stats = air.join().map_err(|_| stage("air"))?;
+    let (receiver_erasures, receiver_fault_stats) =
+        rx_thread.join().map_err(|_| stage("receiver"))?;
+    let (eavesdropper_erasures, _) = eve_thread.join().map_err(|_| stage("eavesdropper"))?;
+
+    let mut faults = FaultStats::default();
+    faults.merge(&queue_stats);
+    faults.merge(&air_stats);
+    faults.merge(&receiver_fault_stats);
 
     let reconstruct = |store: &BTreeMap<usize, BTreeMap<u16, Vec<u8>>>,
                        totals: &BTreeMap<usize, u16>|
@@ -407,14 +642,18 @@ pub fn run_pipeline_metered(
         let totals = eve_totals.lock();
         reconstruct(&frames, &totals)
     };
-    PipelineOutcome {
+    Ok(PipelineOutcome {
         packets_sent,
         packets_encrypted,
         receiver,
         eavesdropper,
         receiver_sps,
         receiver_pps,
-    }
+        faults,
+        receiver_erasures,
+        eavesdropper_erasures,
+        frames_dropped_at_queue,
+    })
 }
 
 #[cfg(test)]
@@ -422,6 +661,7 @@ mod tests {
     use super::*;
     use thrifty_analytic::policy::EncryptionMode;
     use thrifty_crypto::Algorithm;
+    use thrifty_faults::Region;
 
     fn frames(n: usize, gop: usize) -> Vec<InputFrame> {
         (0..n)
@@ -455,6 +695,8 @@ mod tests {
             let out = run_pipeline(frames(30, 10), config(mode, 0.0));
             assert_eq!(out.receiver.frames_ok.len(), 30, "{mode}");
             assert!(out.receiver.frames_damaged.is_empty(), "{mode}");
+            assert_eq!(out.faults, thrifty_faults::FaultStats::default());
+            assert_eq!(out.receiver_erasures.total(), 0);
         }
     }
 
@@ -464,6 +706,11 @@ mod tests {
         // I frames at 0, 10, 20 are dark; everything else readable.
         assert_eq!(out.eavesdropper.frames_damaged, vec![0, 10, 20]);
         assert_eq!(out.eavesdropper.frames_ok.len(), 27);
+        // Each encrypted packet is an eavesdropper erasure by design.
+        assert_eq!(
+            out.eavesdropper_erasures.marked_undecryptable,
+            out.packets_encrypted as u64
+        );
     }
 
     #[test]
@@ -518,6 +765,50 @@ mod tests {
     }
 
     #[test]
+    fn reorder_window_larger_than_stream_drains_fully() {
+        // Regression: with a reordering window at least as large as the
+        // whole packet stream, every packet sits in the shuffle buffer
+        // until the air thread's final drain — reassembly must still
+        // complete and nothing may be lost or deadlock.
+        let input = frames(10, 5);
+        let total_payload: usize = 2 /* SPS/PPS */
+            + input
+                .iter()
+                .map(|f| {
+                    let annex_b = write_annex_b(std::slice::from_ref(&f.nal));
+                    annex_b.len().div_ceil(1452)
+                })
+                .sum::<usize>();
+        let out = run_pipeline(
+            input,
+            PipelineConfig {
+                reorder_window: 10 * total_payload, // ≫ stream length
+                ..config(EncryptionMode::IFrames, 0.0)
+            },
+        );
+        assert_eq!(out.packets_sent, total_payload);
+        assert_eq!(out.receiver.frames_ok.len(), 10, "shuffle buffer must drain fully");
+        assert!(out.receiver.frames_damaged.is_empty());
+        assert!(out.receiver_sps.is_some(), "lead-ins must survive the drain");
+    }
+
+    #[test]
+    fn queue_depth_one_backpressure_still_completes() {
+        // Regression: a single-slot bounded queue exercises constant
+        // producer↔encryptor backpressure; the pipeline must neither
+        // deadlock nor drop frames.
+        let out = run_pipeline(
+            frames(40, 10),
+            PipelineConfig {
+                queue_depth: 1,
+                ..config(EncryptionMode::All, 0.0)
+            },
+        );
+        assert_eq!(out.receiver.frames_ok.len(), 40);
+        assert!(out.frames_dropped_at_queue.is_empty());
+    }
+
+    #[test]
     fn metered_pipeline_counts_real_traffic() {
         use thrifty_telemetry::MetricsRegistry;
         let metrics = MetricsRegistry::enabled();
@@ -557,5 +848,245 @@ mod tests {
         );
         assert_eq!(out.receiver.frames_ok.len(), 10);
         assert!(out.eavesdropper.frames_ok.is_empty());
+    }
+
+    // ---- fault-injection behaviour -------------------------------------
+
+    fn metrics_off() -> thrifty_telemetry::MetricsRegistry {
+        thrifty_telemetry::MetricsRegistry::disabled()
+    }
+
+    #[test]
+    fn empty_plan_is_byte_identical_to_plain_run() {
+        let cfg = config(EncryptionMode::IFrames, 0.15);
+        let plain = run_pipeline(frames(30, 10), cfg);
+        let faulty = run_pipeline_faulty(frames(30, 10), cfg, &FaultPlan::none(99), &metrics_off())
+            .expect("empty plan must run");
+        assert_eq!(plain.receiver.frames_ok, faulty.receiver.frames_ok);
+        assert_eq!(plain.receiver.frames_damaged, faulty.receiver.frames_damaged);
+        assert_eq!(plain.eavesdropper.frames_ok, faulty.eavesdropper.frames_ok);
+        assert_eq!(plain.packets_sent, faulty.packets_sent);
+        assert_eq!(plain.packets_encrypted, faulty.packets_encrypted);
+        assert_eq!(faulty.faults, FaultStats::default());
+    }
+
+    #[test]
+    fn fault_runs_are_bit_reproducible() {
+        let cfg = config(EncryptionMode::IFrames, 0.1);
+        let plan = FaultPlan::none(1234)
+            .with_corruption(0.2, Region::Anywhere, 8)
+            .with_truncation(0.1, 4)
+            .with_duplication(0.1)
+            .with_reordering(8)
+            .with_burst_loss(0.05, 0.25, 0.9)
+            .with_stale_key(0.1)
+            .with_queue_overflow(4, 0.5);
+        let run = || {
+            let out = run_pipeline_faulty(frames(40, 10), cfg, &plan, &metrics_off())
+                .expect("fault run must complete");
+            (
+                out.receiver.frames_ok.clone(),
+                out.receiver.frames_damaged.clone(),
+                out.faults,
+                out.receiver_erasures,
+                out.frames_dropped_at_queue.clone(),
+            )
+        };
+        assert_eq!(run(), run(), "same seed + plan ⇒ identical outcome");
+    }
+
+    #[test]
+    fn corruption_degrades_but_never_panics() {
+        let plan = FaultPlan::none(7).with_corruption(0.5, Region::Anywhere, 16);
+        let out = run_pipeline_faulty(
+            frames(30, 10),
+            config(EncryptionMode::IFrames, 0.0),
+            &plan,
+            &metrics_off(),
+        )
+        .expect("corruption must degrade, not abort");
+        assert!(out.faults.corrupted > 0);
+        assert!(
+            out.receiver.frames_ok.len() < 30,
+            "heavy corruption must damage frames"
+        );
+        assert!(
+            out.receiver_erasures.total() > 0 || !out.receiver.frames_damaged.is_empty(),
+            "corruption surfaces as erasures or damage"
+        );
+    }
+
+    #[test]
+    fn truncation_becomes_erasures() {
+        let plan = FaultPlan::none(8).with_truncation(0.6, 0);
+        let out = run_pipeline_faulty(
+            frames(20, 10),
+            config(EncryptionMode::None, 0.0),
+            &plan,
+            &metrics_off(),
+        )
+        .expect("truncation must degrade, not abort");
+        assert!(out.faults.truncated > 0);
+        // Truncated below the RTP or fragment header ⇒ typed parse
+        // failures, counted as erasures.
+        assert!(out.receiver_erasures.total() > 0);
+    }
+
+    #[test]
+    fn duplication_is_harmless_on_a_clean_channel() {
+        let plan = FaultPlan::none(9).with_duplication(0.5);
+        let out = run_pipeline_faulty(
+            frames(20, 10),
+            config(EncryptionMode::IFrames, 0.0),
+            &plan,
+            &metrics_off(),
+        )
+        .expect("duplication must be harmless");
+        assert!(out.faults.duplicated > 0);
+        assert_eq!(
+            out.receiver.frames_ok.len(),
+            20,
+            "duplicates overwrite identical fragments — no damage"
+        );
+    }
+
+    #[test]
+    fn plan_reordering_bursts_do_not_break_reassembly() {
+        let plan = FaultPlan::none(10).with_reordering(16);
+        let out = run_pipeline_faulty(
+            frames(30, 10),
+            config(EncryptionMode::IFrames, 0.0),
+            &plan,
+            &metrics_off(),
+        )
+        .expect("reordering must be handled");
+        assert!(out.faults.reordered > 0);
+        assert_eq!(out.receiver.frames_ok.len(), 30);
+    }
+
+    #[test]
+    fn stale_key_hits_surface_as_damage_not_panics() {
+        let plan = FaultPlan::none(11).with_stale_key(0.5);
+        let out = run_pipeline_faulty(
+            frames(20, 5),
+            config(EncryptionMode::All, 0.0),
+            &plan,
+            &metrics_off(),
+        )
+        .expect("stale keys must degrade, not abort");
+        assert!(out.faults.stale_key_hits > 0);
+        assert!(
+            out.receiver.frames_ok.len() < 20,
+            "garbage plaintext must damage frames"
+        );
+    }
+
+    #[test]
+    fn queue_overflow_drops_frames_deterministically() {
+        let plan = FaultPlan::none(12).with_queue_overflow(2, 0.2);
+        let out = run_pipeline_faulty(
+            frames(50, 10),
+            config(EncryptionMode::IFrames, 0.0),
+            &plan,
+            &metrics_off(),
+        )
+        .expect("queue overflow must degrade, not abort");
+        assert!(!out.frames_dropped_at_queue.is_empty());
+        assert_eq!(
+            out.faults.queue_dropped as usize,
+            out.frames_dropped_at_queue.len()
+        );
+        // Dropped frames are damaged (never transmitted); survivors are ok.
+        for f in &out.frames_dropped_at_queue {
+            assert!(out.receiver.frames_damaged.contains(f));
+        }
+    }
+
+    #[test]
+    fn burst_channel_loses_in_bursts_but_completes() {
+        let out = run_pipeline_faulty(
+            frames(60, 10),
+            PipelineConfig {
+                channel: AirChannel::Burst {
+                    p_gb: 0.05,
+                    p_bg: 0.2,
+                    good_success: 0.99,
+                    bad_success: 0.3,
+                },
+                ..config(EncryptionMode::IFrames, 0.0)
+            },
+            &FaultPlan::none(0),
+            &metrics_off(),
+        )
+        .expect("burst channel must run");
+        assert!(out.receiver.frames_ok.len() < 60, "bursty loss must bite");
+        assert!(!out.receiver.frames_ok.is_empty(), "but not destroy everything");
+    }
+
+    #[test]
+    fn invalid_setup_is_reported_not_panicked() {
+        let bad_plan = FaultPlan::none(0).with_corruption(f64::NAN, Region::Header, 1);
+        let err = run_pipeline_faulty(
+            frames(5, 5),
+            PipelineConfig::default(),
+            &bad_plan,
+            &metrics_off(),
+        )
+        .expect_err("NaN probability must be rejected");
+        assert!(matches!(err, PipelineError::InvalidPlan(_)), "{err}");
+
+        let err = run_pipeline_faulty(
+            frames(5, 5),
+            PipelineConfig {
+                channel: AirChannel::Burst {
+                    p_gb: f64::NAN,
+                    p_bg: 0.1,
+                    good_success: 1.0,
+                    bad_success: 0.0,
+                },
+                ..PipelineConfig::default()
+            },
+            &FaultPlan::none(0),
+            &metrics_off(),
+        )
+        .expect_err("NaN burst parameter must be rejected");
+        assert!(matches!(err, PipelineError::InvalidChannel(_)), "{err}");
+        assert!(err.to_string().contains("p_gb"), "{err}");
+    }
+
+    #[test]
+    fn everything_armed_at_once_still_degrades_gracefully() {
+        // The full hostile-WLAN gauntlet: bursty channel plus every fault
+        // site armed. The pipeline must complete without panicking or
+        // deadlocking and report a consistent outcome.
+        let plan = FaultPlan::none(4242)
+            .with_corruption(0.3, Region::Anywhere, 32)
+            .with_truncation(0.2, 0)
+            .with_duplication(0.2)
+            .with_reordering(12)
+            .with_burst_loss(0.1, 0.2, 0.95)
+            .with_stale_key(0.2)
+            .with_queue_overflow(3, 0.4);
+        let out = run_pipeline_faulty(
+            frames(60, 10),
+            PipelineConfig {
+                channel: AirChannel::Burst {
+                    p_gb: 0.05,
+                    p_bg: 0.2,
+                    good_success: 0.98,
+                    bad_success: 0.4,
+                },
+                ..config(EncryptionMode::IFrames, 0.0)
+            },
+            &plan,
+            &metrics_off(),
+        )
+        .expect("the full gauntlet must not panic");
+        assert_eq!(
+            out.receiver.frames_ok.len() + out.receiver.frames_damaged.len(),
+            60,
+            "every original frame is accounted for"
+        );
+        assert!(out.faults.total() > 0);
     }
 }

@@ -248,7 +248,7 @@ mod tests {
             NalUnit::new(2, NalUnitType::NonIdrSlice, vec![9; 100]),
         ];
         let stream = write_annex_b(&units);
-        let parsed = parse_annex_b(&stream).unwrap();
+        let parsed = parse_annex_b(&stream).expect("clean round-trip stream must parse");
         assert_eq!(parsed, units);
     }
 
@@ -273,7 +273,7 @@ mod tests {
                 !body.windows(3).any(|w| w == [0, 0, 1]),
                 "payload {payload:?} leaked a start code: {body:?}"
             );
-            let parsed = parse_annex_b(&stream).unwrap();
+            let parsed = parse_annex_b(&stream).expect("escaped tricky payload must parse");
             assert_eq!(parsed[0].payload, payload);
         }
     }
@@ -284,7 +284,7 @@ mod tests {
             .map(|i| NalUnit::synthetic_slice(i, i % 5 == 0, 50 + i * 13))
             .collect();
         let stream = write_annex_b(&units);
-        let parsed = parse_annex_b(&stream).unwrap();
+        let parsed = parse_annex_b(&stream).expect("synthetic slices must round-trip");
         assert_eq!(parsed.len(), 10);
         for (i, u) in parsed.iter().enumerate() {
             assert_eq!(u.payload.len(), 50 + i * 13);
@@ -304,7 +304,7 @@ mod tests {
     fn three_byte_start_codes_accepted() {
         let mut stream = vec![0, 0, 1, (3 << 5) | 5, 0xAA, 0xBB];
         stream.extend_from_slice(&[0, 0, 1, (2 << 5) | 1, 0xCC]);
-        let parsed = parse_annex_b(&stream).unwrap();
+        let parsed = parse_annex_b(&stream).expect("3-byte start codes must be accepted");
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].unit_type, NalUnitType::IdrSlice);
         assert_eq!(parsed[0].payload, vec![0xAA, 0xBB]);
@@ -324,7 +324,10 @@ mod tests {
     fn garbage_without_start_code_is_an_error() {
         assert_eq!(parse_annex_b(&[1, 2, 3, 4, 5]), Err(NalError::NoStartCode));
         // Empty input parses to an empty list (a valid empty stream).
-        assert_eq!(parse_annex_b(&[]).unwrap(), Vec::new());
+        assert_eq!(
+            parse_annex_b(&[]).expect("empty stream parses to an empty unit list"),
+            Vec::new()
+        );
     }
 
     #[test]
@@ -340,7 +343,7 @@ mod tests {
     fn leading_garbage_before_first_start_code_is_skipped() {
         let mut stream = vec![0xDE, 0xAD, 0xBE];
         stream.extend_from_slice(&[0, 0, 0, 1, (3 << 5) | 7, 0x42]);
-        let units = parse_annex_b(&stream).unwrap();
+        let units = parse_annex_b(&stream).expect("leading garbage must be skipped");
         assert_eq!(units.len(), 1);
         assert_eq!(units[0].unit_type, NalUnitType::Sps);
         assert_eq!(units[0].payload, vec![0x42]);
@@ -350,7 +353,7 @@ mod tests {
     fn empty_payload_unit_roundtrips() {
         let unit = NalUnit::new(0, NalUnitType::Other(12), Vec::new());
         let stream = write_annex_b(std::slice::from_ref(&unit));
-        let parsed = parse_annex_b(&stream).unwrap();
+        let parsed = parse_annex_b(&stream).expect("empty-payload unit must round-trip");
         assert_eq!(parsed, vec![unit]);
     }
 

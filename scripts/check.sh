@@ -28,4 +28,12 @@ cmp "$tmp/metrics_a.json" "$tmp/metrics_b.json"
 ./target/release/reproduce table2 fig12 --no-bench-json > "$tmp/out_plain.txt"
 cmp "$tmp/out_a.txt" "$tmp/out_plain.txt"
 
+echo "==> fault-matrix smoke sweep (zero panics/deadlocks, bounded wall-clock)"
+# The binary exits non-zero on any guarantee violation (panic, deadlock,
+# non-reproducible cell, faulty run beating its clean twin); `timeout`
+# bounds a hung pipeline — a deadlock fails the gate as exit 124.
+timeout 600 ./target/release/reproduce faults --no-bench-json > "$tmp/faults_a.txt"
+timeout 600 ./target/release/reproduce faults --no-bench-json > "$tmp/faults_b.txt"
+cmp "$tmp/faults_a.txt" "$tmp/faults_b.txt"
+
 echo "All checks passed."

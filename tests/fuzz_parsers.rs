@@ -1,0 +1,179 @@
+//! Fuzz suite for the wire-format parsers (proptest).
+//!
+//! The robustness contract of the hostile-channel testbed: every parser on
+//! the receive path is **total** — arbitrary bytes, truncated buffers and
+//! bit-flipped valid packets produce `Ok` or a typed error, never a panic.
+//! Alongside, emit→parse round-trips are identities, so the hardening did
+//! not bend the formats themselves.
+
+use proptest::prelude::*;
+use thrifty::net::tcp::TcpSegment;
+use thrifty::net::wire::{FragmentHeader, RtpHeader, RtpPacket, UdpHeader, RTP_HEADER_LEN};
+use thrifty::video::nal::{parse_annex_b, write_annex_b, NalUnit, NalUnitType};
+
+proptest! {
+    /// `RtpPacket::parse` (header + payload view) is total: any byte soup
+    /// yields Ok or a typed error.
+    #[test]
+    fn rtp_packet_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = RtpPacket::parse(bytes.as_slice());
+    }
+
+    /// `UdpHeader::parse` is total — including length fields smaller than
+    /// the UDP header itself (the latent inverted-slice panic this PR fixed).
+    #[test]
+    fn udp_header_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = UdpHeader::parse(&bytes);
+    }
+
+    /// `TcpSegment::parse` is total, whatever the data-offset and option
+    /// bytes claim.
+    #[test]
+    fn tcp_segment_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = TcpSegment::parse(&bytes);
+    }
+
+    /// `FragmentHeader::parse` is total.
+    #[test]
+    fn fragment_header_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = FragmentHeader::parse(&bytes);
+    }
+
+    /// `parse_annex_b` is total on arbitrary bitstreams.
+    #[test]
+    fn annex_b_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = parse_annex_b(&bytes);
+    }
+
+    /// RTP emit→parse is the identity on header fields and payload.
+    #[test]
+    fn rtp_roundtrip_is_identity(
+        marker in any::<bool>(),
+        payload_type in 0u8..128,
+        sequence in any::<u16>(),
+        timestamp in any::<u32>(),
+        ssrc in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        let header = RtpHeader { marker, payload_type, sequence, timestamp, ssrc };
+        let wire = header.emit(&payload);
+        prop_assert_eq!(wire.len(), RTP_HEADER_LEN + payload.len());
+        let packet = RtpPacket::parse(wire.as_slice()).expect("emitted packet must parse");
+        prop_assert_eq!(packet.header(), header);
+        prop_assert_eq!(packet.payload(), payload.as_slice());
+    }
+
+    /// TCP emit→parse is the identity on the fields the testbed uses,
+    /// marker option included.
+    #[test]
+    fn tcp_roundtrip_is_identity(
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        encrypted_marker in any::<bool>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        let segment = TcpSegment { src_port, dst_port, seq, ack, encrypted_marker, payload };
+        let parsed = TcpSegment::parse(&segment.emit()).expect("emitted segment must parse");
+        prop_assert_eq!(parsed, segment);
+    }
+
+    /// Fragmentation-header emit→parse is the identity and returns exactly
+    /// the trailing body.
+    #[test]
+    fn fragment_header_roundtrip_is_identity(
+        frame in any::<u32>(),
+        total in 1u16..512,
+        frag_offset in any::<u16>(),
+        body in proptest::collection::vec(any::<u8>(), 0..1500),
+    ) {
+        let frag = frag_offset % total; // keep the geometry valid
+        let header = FragmentHeader::new(frame, frag, total);
+        let mut wire = header.emit().to_vec();
+        wire.extend_from_slice(&body);
+        let (parsed, rest) = FragmentHeader::parse(&wire).expect("emitted header must parse");
+        prop_assert_eq!(parsed, header);
+        prop_assert_eq!(rest, body.as_slice());
+    }
+
+    /// Annex-B write→parse is the identity for valid NAL units.
+    #[test]
+    fn annex_b_roundtrip_is_identity(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..256), 1..8),
+    ) {
+        let units: Vec<NalUnit> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| NalUnit::new(3, if i == 0 { NalUnitType::IdrSlice } else { NalUnitType::NonIdrSlice }, p.clone()))
+            .collect();
+        let stream = write_annex_b(&units);
+        let parsed = parse_annex_b(&stream).expect("written stream must parse");
+        prop_assert_eq!(parsed.len(), units.len());
+        for (a, b) in parsed.iter().zip(&units) {
+            prop_assert_eq!(&a.payload, &b.payload);
+            prop_assert_eq!(a.unit_type, b.unit_type);
+        }
+    }
+
+    /// Structured mutation: a *valid* RTP packet with bit flips and/or a
+    /// truncated tail still parses totally — the exact shape of damage the
+    /// fault injector produces on the air.
+    #[test]
+    fn mutated_valid_rtp_never_panics(
+        sequence in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        flips in proptest::collection::vec(any::<u16>(), 0..16),
+        keep in any::<usize>(),
+    ) {
+        let wire = RtpHeader {
+            marker: true,
+            payload_type: 96,
+            sequence,
+            timestamp: 0,
+            ssrc: 0x7E57,
+        }
+        .emit(&payload);
+        let mut mutated = wire;
+        for f in flips {
+            let len = mutated.len();
+            if len > 0 {
+                mutated[(f as usize >> 3) % len] ^= 1 << (f & 7);
+            }
+        }
+        mutated.truncate(keep % (mutated.len() + 1));
+        if let Ok(packet) = RtpPacket::parse(mutated.as_slice()) {
+            // Whatever survives must also re-chain into the fragment parser
+            // without panicking (the receive path's next step).
+            let _ = FragmentHeader::parse(packet.payload());
+        }
+    }
+
+    /// Structured mutation of a valid TCP segment, same contract.
+    #[test]
+    fn mutated_valid_tcp_never_panics(
+        seq in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        flips in proptest::collection::vec(any::<u16>(), 0..16),
+        keep in any::<usize>(),
+    ) {
+        let mut mutated = TcpSegment {
+            src_port: 5004,
+            dst_port: 5004,
+            seq,
+            ack: 0,
+            encrypted_marker: true,
+            payload,
+        }
+        .emit();
+        for f in flips {
+            let len = mutated.len();
+            mutated[(f as usize >> 3) % len] ^= 1 << (f & 7);
+        }
+        mutated.truncate(keep % (mutated.len() + 1));
+        if let Ok(segment) = TcpSegment::parse(&mutated) {
+            let _ = FragmentHeader::parse(&segment.payload);
+        }
+    }
+}
