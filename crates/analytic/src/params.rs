@@ -41,6 +41,11 @@ pub const HTC_AMAZE_4G: DeviceSpec = DeviceSpec {
     segment_overhead_s: 60e-6,
 };
 
+/// The channel packet error rate every calibrated scenario assumes (the
+/// non-collision radio losses folded into `p_s`). Exposed so multi-flow
+/// engines can pre-solve the same [`DcfModel`] the calibration would.
+pub const DEFAULT_CHANNEL_PER: f64 = 0.02;
+
 /// Derives the 2-MMPP arrival model from stream structure and producer
 /// pacing (Section 4.2.1: phase 1 = dense I-fragment trains, phase 2 =
 /// sparse P packets).
@@ -231,6 +236,23 @@ impl ScenarioParams {
         stations: usize,
         target_rho_heaviest: f64,
     ) -> Self {
+        let dcf = DcfModel::new(stations, DEFAULT_CHANNEL_PER, PhyParams::g_54mbps()).solve();
+        Self::calibrated_with_dcf(motion, gop_size, device, dcf, target_rho_heaviest)
+    }
+
+    /// [`calibrated`](Self::calibrated) with a pre-solved channel operating
+    /// point — the hook a multi-flow engine uses to share one memoized
+    /// [`DcfSolution`] across every flow contending on the same AP instead
+    /// of re-running the fixed point per flow. Passing the solution of
+    /// `DcfModel::new(stations, DEFAULT_CHANNEL_PER, PhyParams::g_54mbps())`
+    /// reproduces `calibrated(…, stations, …)` bit for bit.
+    pub fn calibrated_with_dcf(
+        motion: MotionLevel,
+        gop_size: usize,
+        device: DeviceSpec,
+        dcf: DcfSolution,
+        target_rho_heaviest: f64,
+    ) -> Self {
         assert!(
             (0.0..1.0).contains(&target_rho_heaviest),
             "target utilisation must be below 1"
@@ -240,7 +262,6 @@ impl ScenarioParams {
         let packets = Packetizer::default().packetize(&stream);
         let packet_stats = PacketStats::measure(&packets).expect("stream has both classes");
         let phy = PhyParams::g_54mbps();
-        let dcf = DcfModel::new(stations, 0.02, phy).solve();
 
         // Heaviest per-packet service: 3DES on every packet + airtime + backoff.
         let mut proto = ScenarioParams {
@@ -344,6 +365,22 @@ mod tests {
         // every P frame fragments too.
         assert!(slow.packet_stats.p_i > fast.packet_stats.p_i);
         assert!(fast.packet_stats.mean_bytes_p > slow.packet_stats.mean_bytes_p);
+    }
+
+    #[test]
+    fn calibrated_with_dcf_reproduces_calibrated() {
+        use thrifty_net::dcf::DcfModel;
+        let direct = ScenarioParams::calibrated(MotionLevel::High, 30, SAMSUNG_GALAXY_S2, 9, 0.92);
+        let dcf = DcfModel::new(9, DEFAULT_CHANNEL_PER, PhyParams::g_54mbps()).solve();
+        let injected =
+            ScenarioParams::calibrated_with_dcf(MotionLevel::High, 30, SAMSUNG_GALAXY_S2, dcf, 0.92);
+        assert_eq!(direct.dcf, injected.dcf);
+        assert_eq!(direct.mmpp, injected.mmpp);
+        assert_eq!(direct.packet_stats, injected.packet_stats);
+        assert_eq!(
+            direct.mmpp.mean_rate().to_bits(),
+            injected.mmpp.mean_rate().to_bits()
+        );
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! The fleet scaling sweep (`reproduce fleet`): N concurrent uploaders on
+//! one AP, driven by the sharded engine of `thrifty-fleet`.
+//!
+//! Sweeps N ∈ {1, 2, 5, 10, 25, 50, 100} flows × three selection policies
+//! (full encryption, I-only, I+20 %P) and reports, per cell, the per-flow
+//! delay distribution (mean/p50/p95/p99), aggregate delivered goodput, the
+//! eavesdropper's PSNR, the analytic prediction at the coupled station
+//! count, and the solve-cache hit rate. Three hard guarantees are encoded
+//! as table columns and gated by [`verify_fleet_sweep`]:
+//!
+//! * **`single-sender ==`** — the N = 1 cell is *byte-identical* to the
+//!   existing single-sender path (plain [`ScenarioParams::calibrated`] +
+//!   sequential `SenderSim`, no cache, no shards, no merge);
+//! * **`reproducible`** — every cell runs twice from the same seed with a
+//!   fresh cache and registry, and the two metered runs must agree bit for
+//!   bit (merged telemetry included);
+//! * **`solver residual`** — the 2-state [`MmppG1`] and n-state
+//!   [`MmppNG1`] solves of the same cell queue agree to < 1e-6 relative.
+//!
+//! [`ScenarioParams::calibrated`]: thrifty::analytic::params::ScenarioParams::calibrated
+//! [`MmppG1`]: thrifty::queueing::MmppG1
+//! [`MmppNG1`]: thrifty::queueing::solver_n::MmppNG1
+
+use thrifty::analytic::policy::{EncryptionMode, Policy};
+use thrifty::crypto::Algorithm;
+use thrifty_fleet::{single_sender_reference, FleetConfig, FleetEngine, SolveCache};
+use thrifty_telemetry::MetricsRegistry;
+
+use crate::parallel::par_map;
+use crate::{CellMetrics, Effort, FigureMetrics, Row, Table};
+
+/// The swept fleet sizes.
+pub const FLEET_SIZES: [usize; 7] = [1, 2, 5, 10, 25, 50, 100];
+
+/// The swept selection policies, in column order.
+fn policies() -> [(&'static str, Policy); 3] {
+    [
+        (
+            "full-encryption",
+            Policy::new(Algorithm::Aes256, EncryptionMode::All),
+        ),
+        (
+            "I-only",
+            Policy::new(Algorithm::Aes256, EncryptionMode::IFrames),
+        ),
+        (
+            "I+20%P",
+            Policy::new(Algorithm::Aes256, EncryptionMode::IPlusFractionP(0.2)),
+        ),
+    ]
+}
+
+/// Seed for a sweep cell, mixed from its coordinates so no two cells share
+/// flow streams.
+fn cell_seed(n_flows: usize, policy_index: usize) -> u64 {
+    0xF1EE_7001
+        ^ (n_flows as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (policy_index as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+}
+
+/// One metered engine run from a cold cache. Returns the result together
+/// with the cell registry's snapshot (which carries the solve-cache
+/// hit/miss counters alongside the merged per-flow telemetry).
+fn run_cell(cfg: FleetConfig) -> (thrifty_fleet::FleetResult, thrifty_telemetry::Snapshot) {
+    let cache = SolveCache::new();
+    let metrics = MetricsRegistry::enabled();
+    let engine = FleetEngine::prepare(cfg, &cache, &metrics);
+    let result = engine.run(&cache, &metrics);
+    (result, metrics.snapshot())
+}
+
+fn sweep(effort: Effort, sizes: &[usize]) -> (Table, FigureMetrics) {
+    let frames = effort.frames.clamp(40, 150);
+    let mut cells = Vec::new();
+    for &n in sizes {
+        for (pi, (label, policy)) in policies().into_iter().enumerate() {
+            cells.push((n, pi, label, policy));
+        }
+    }
+    let results = par_map(&cells, |&(n, pi, label, policy)| {
+        let mut cfg = FleetConfig::paper_fleet(n, policy);
+        cfg.frames = frames;
+        cfg.seed = cell_seed(n, pi);
+        let (run, cell_snapshot) = run_cell(cfg);
+        // Reproducibility gate: a second metered run from the same seed,
+        // cold cache and fresh registries, must agree bit for bit — merged
+        // per-flow telemetry and cell counters included.
+        let (rerun, rerun_snapshot) = run_cell(cfg);
+        let reproducible =
+            run.bit_identical(&rerun) && cell_snapshot.to_json() == rerun_snapshot.to_json();
+        // Single-sender gate (N = 1 only): the engine cell must reproduce
+        // the pre-fleet sequential path byte for byte.
+        let single_identical = if n == 1 {
+            run.flows[0].bit_identical(&single_sender_reference(&cfg))
+        } else {
+            true // vacuous above N = 1
+        };
+        let hit_rate = SolveCache::hit_rate(&cell_snapshot).unwrap_or(f64::NAN);
+        let per_flow_goodput =
+            run.flows.iter().map(|f| f.throughput_bps).sum::<f64>() / run.flows.len() as f64;
+        let row = Row {
+            label: format!("N={n}, {label}"),
+            values: vec![
+                ("flows".into(), n as f64),
+                ("stations".into(), run.stations as f64),
+                ("mean delay (ms)".into(), run.mean_delay_s * 1e3),
+                ("p50 (ms)".into(), run.p50_delay_s * 1e3),
+                ("p95 (ms)".into(), run.p95_delay_s * 1e3),
+                ("p99 (ms)".into(), run.p99_delay_s * 1e3),
+                ("analytic delay (ms)".into(), run.analytic.mean_delay_s * 1e3),
+                ("per-flow goodput (kb/s)".into(), per_flow_goodput / 1e3),
+                (
+                    "aggregate (kb/s)".into(),
+                    run.aggregate_throughput_bps / 1e3,
+                ),
+                ("eve PSNR (dB)".into(), run.psnr_eve_db),
+                ("solver residual".into(), run.cross_solver_rel()),
+                ("cache hit rate".into(), hit_rate),
+                ("single-sender ==".into(), single_identical as u8 as f64),
+                ("reproducible".into(), reproducible as u8 as f64),
+            ],
+        };
+        (row, cell_snapshot)
+    });
+    let title = format!("Fleet scaling — {frames}-frame clips, 4 background stations");
+    let (rows, snapshots): (Vec<Row>, Vec<_>) = results.into_iter().unzip();
+    let figure_metrics = FigureMetrics {
+        title: title.clone(),
+        cells: rows
+            .iter()
+            .zip(snapshots)
+            .map(|(row, snapshot)| CellMetrics {
+                label: row.label.clone(),
+                snapshot,
+            })
+            .collect(),
+    };
+    let table = Table {
+        title,
+        caption: "N concurrent uploaders contending for one AP (stations = N + 4 \
+                  background). Contention is coupled through the live station count \
+                  fed to the Bianchi DCF fixed point; per-flow RNG streams and \
+                  flow-id-ordered telemetry merges make every cell bit-reproducible \
+                  (`reproducible` = 1, same-seed double run). `single-sender ==` = 1 \
+                  on the N=1 rows certifies byte-identity with the pre-fleet \
+                  sequential sender path. `solver residual` is the relative \
+                  disagreement between the 2-state and n-state MMPP/G/1 solvers on \
+                  the cell's queue; `cache hit rate` is the solve-cache's share of \
+                  lookups answered without re-solving."
+            .into(),
+        rows,
+    };
+    (table, figure_metrics)
+}
+
+/// Generate the fleet scaling sweep over [`FLEET_SIZES`] × three policies.
+///
+/// Always metered: the returned [`FigureMetrics`] carries one snapshot per
+/// cell (merged per-flow telemetry plus the cell's solve-cache counters).
+/// Cells seed their flows from their sweep coordinates, so [`par_map`]
+/// evaluation cannot perturb values and two invocations agree bit for bit.
+pub fn fleet_sweep(effort: Effort) -> (Table, FigureMetrics) {
+    sweep(effort, &FLEET_SIZES)
+}
+
+/// Assert the sweep's hard guarantees on a generated table; returns the
+/// violations (empty = pass). `reproduce fleet` exits non-zero when any
+/// check fails, so CI catches a determinism or caching regression.
+pub fn verify_fleet_sweep(table: &Table) -> Vec<String> {
+    let mut violations = Vec::new();
+    let col = |row: &Row, name: &str| -> f64 {
+        row.values
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN)
+    };
+    for row in &table.rows {
+        if col(row, "reproducible") != 1.0 {
+            violations.push(format!("{}: metered run was not bit-reproducible", row.label));
+        }
+        if col(row, "single-sender ==") != 1.0 {
+            violations.push(format!(
+                "{}: N=1 cell diverged from the single-sender path",
+                row.label
+            ));
+        }
+        let residual = col(row, "solver residual");
+        if residual.is_nan() || residual >= 1e-6 {
+            violations.push(format!(
+                "{}: 2-state vs n-state solver residual {residual}",
+                row.label
+            ));
+        }
+        let hit_rate = col(row, "cache hit rate");
+        if !(0.0..=1.0).contains(&hit_rate) {
+            violations.push(format!("{}: bad cache hit rate {hit_rate}", row.label));
+        }
+        if col(row, "flows") >= 100.0 && (hit_rate.is_nan() || hit_rate <= 0.9) {
+            violations.push(format!(
+                "{}: solve-cache hit rate {hit_rate} ≤ 0.9 on the 100-flow cell",
+                row.label
+            ));
+        }
+        let (p50, p95, p99) = (col(row, "p50 (ms)"), col(row, "p95 (ms)"), col(row, "p99 (ms)"));
+        if !(p50 <= p95 && p95 <= p99) {
+            violations.push(format!(
+                "{}: percentiles out of order ({p50}, {p95}, {p99})",
+                row.label
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Effort {
+        Effort {
+            trials: 1,
+            frames: 40,
+        }
+    }
+
+    #[test]
+    fn sweep_passes_its_own_verification_on_small_sizes() {
+        let (table, metrics) = sweep(tiny(), &[1, 2, 5]);
+        assert_eq!(table.rows.len(), 3 * policies().len());
+        assert_eq!(metrics.cells.len(), table.rows.len());
+        let violations = verify_fleet_sweep(&table);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_invocations() {
+        let (a, ma) = sweep(tiny(), &[1, 3]);
+        let (b, mb) = sweep(tiny(), &[1, 3]);
+        assert_eq!(a.to_json(), b.to_json(), "tables must be byte-stable");
+        assert_eq!(ma.to_json(), mb.to_json(), "telemetry must be byte-stable");
+    }
+
+    #[test]
+    fn cell_snapshots_carry_the_cache_counters() {
+        let (_, metrics) = sweep(tiny(), &[2]);
+        for cell in &metrics.cells {
+            assert!(
+                cell.snapshot.counter(SolveCache::MISSES) > 0,
+                "{}: cold cache must miss at least once",
+                cell.label
+            );
+            assert!(
+                cell.snapshot.counter(SolveCache::HITS)
+                    > cell.snapshot.counter(SolveCache::MISSES),
+                "{}: the hot loop must be cache hits",
+                cell.label
+            );
+        }
+    }
+
+    #[test]
+    fn verification_flags_a_broken_row() {
+        let (mut table, _) = sweep(tiny(), &[1]);
+        for (key, value) in &mut table.rows[0].values {
+            if key == "reproducible" {
+                *value = 0.0;
+            }
+        }
+        let violations = verify_fleet_sweep(&table);
+        assert!(violations.iter().any(|v| v.contains("bit-reproducible")));
+    }
+
+    #[test]
+    fn encryption_policy_orders_eavesdropper_psnr() {
+        // Full encryption must leave the eavesdropper with the worst view;
+        // I-only leaks the most (P-frames ride in clear).
+        let (table, _) = sweep(tiny(), &[5]);
+        let psnr = |needle: &str| -> f64 {
+            table
+                .rows
+                .iter()
+                .find(|r| r.label.contains(needle))
+                .and_then(|r| r.values.iter().find(|(k, _)| k == "eve PSNR (dB)"))
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!(
+            psnr("full-encryption") <= psnr("I-only") + 1e-9,
+            "full {} vs I-only {}",
+            psnr("full-encryption"),
+            psnr("I-only")
+        );
+    }
+}

@@ -21,10 +21,18 @@
 #![warn(missing_docs)]
 
 pub mod faults;
-pub mod parallel;
+pub mod fleet;
+pub mod golden;
 pub mod throughput;
 
+/// The work-stealing map primitives now live in `thrifty-fleet` (the fleet
+/// engine shards flows through them); re-exported here so existing
+/// `thrifty_bench::parallel::par_map` call sites keep compiling.
+pub use thrifty_fleet::parallel;
+
 pub use faults::{fault_matrix, verify_fault_matrix, ChannelKind, FaultClass, TransportKind};
+pub use fleet::{fleet_sweep, verify_fleet_sweep, FLEET_SIZES};
+pub use golden::{diff_against_golden, golden_effort, golden_figures, parse_table_json};
 pub use parallel::{par_flat_map, par_map};
 pub use throughput::{
     bench_cipher_json, measure_cipher_throughput, CipherThroughput, SEGMENT_LEN,

@@ -249,6 +249,120 @@ mod tests {
     }
 
     #[test]
+    fn fast_motion_pins_the_paper_table2_alpha() {
+        // Table 2 / Section 6.2: α = 20% is the first fraction giving
+        // "almost complete obfuscation" on fast content — the advisor must
+        // land exactly there, not on a neighbouring grid point.
+        let a = advisor(MotionLevel::High);
+        let r = a.recommend(PrivacyPreference::Balanced);
+        assert_eq!(r.policy.mode, EncryptionMode::IPlusFractionP(0.2), "{r:?}");
+    }
+
+    #[test]
+    fn table2_alpha_ladder_crosses_the_threshold_at_20_percent() {
+        // The Table 2 ladder: predicted eavesdropper PSNR falls as α grows,
+        // delay rises, and the confidentiality bar is first met at α = 0.2.
+        let a = advisor(MotionLevel::High);
+        let ladder: Vec<Recommendation> = a
+            .alpha_grid
+            .iter()
+            .map(|&alpha| {
+                a.evaluate(if alpha == 0.0 {
+                    EncryptionMode::IFrames
+                } else {
+                    EncryptionMode::IPlusFractionP(alpha)
+                })
+            })
+            .collect();
+        for pair in ladder.windows(2) {
+            assert!(
+                pair[1].distortion.psnr_db <= pair[0].distortion.psnr_db + 1e-9,
+                "PSNR must fall along the α ladder: {} then {}",
+                pair[0].distortion.psnr_db,
+                pair[1].distortion.psnr_db
+            );
+            assert!(
+                pair[1].delay.mean_delay_s >= pair[0].delay.mean_delay_s - 1e-12,
+                "delay must grow along the α ladder"
+            );
+        }
+        for (alpha, r) in a.alpha_grid.iter().zip(&ladder) {
+            if *alpha < 0.2 {
+                assert!(
+                    r.distortion.psnr_db > a.psnr_threshold_db,
+                    "α={alpha} should leak too much ({} dB)",
+                    r.distortion.psnr_db
+                );
+            } else {
+                assert!(
+                    r.distortion.psnr_db <= a.psnr_threshold_db,
+                    "α={alpha} should obfuscate enough ({} dB)",
+                    r.distortion.psnr_db
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mode_choice_is_independent_of_the_cipher() {
+        // Table 2 is an AES-256 table, but the selection (which packets)
+        // depends on distortion only — 3DES must pick the same modes.
+        for (motion, expected) in [
+            (MotionLevel::Low, EncryptionMode::IFrames),
+            (MotionLevel::High, EncryptionMode::IPlusFractionP(0.2)),
+        ] {
+            for alg in [Algorithm::Aes256, Algorithm::TripleDes] {
+                let a = PolicyAdvisor::calibrate(motion, 30, SAMSUNG_GALAXY_S2, alg);
+                let r = a.recommend(PrivacyPreference::Balanced);
+                assert_eq!(r.policy.mode, expected, "{motion}, {alg}");
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_threshold_falls_back_to_encrypt_all() {
+        let mut a = advisor(MotionLevel::High);
+        a.psnr_threshold_db = -1e9; // no partial policy can satisfy this
+        let r = a.recommend(PrivacyPreference::Balanced);
+        assert_eq!(r.policy.mode, EncryptionMode::All, "{r:?}");
+        assert!(!r.rationale.is_empty());
+    }
+
+    #[test]
+    fn lax_threshold_stops_at_i_frames() {
+        // Even a trivially satisfied bar never recommends cleartext: the
+        // balanced search starts at the I-frames (α = 0 grid point).
+        let mut a = advisor(MotionLevel::High);
+        a.psnr_threshold_db = 1e9;
+        let r = a.recommend(PrivacyPreference::Balanced);
+        assert_eq!(r.policy.mode, EncryptionMode::IFrames, "{r:?}");
+    }
+
+    #[test]
+    fn medium_motion_gets_a_policy_between_the_extremes() {
+        let a = advisor(MotionLevel::Medium);
+        let r = a.recommend(PrivacyPreference::Balanced);
+        assert!(
+            matches!(
+                r.policy.mode,
+                EncryptionMode::IFrames | EncryptionMode::IPlusFractionP(_)
+            ),
+            "{r:?}"
+        );
+        assert!(r.distortion.psnr_db <= a.psnr_threshold_db);
+    }
+
+    #[test]
+    fn calibrate_selects_the_device_power_profile() {
+        use thrifty_analytic::params::HTC_AMAZE_4G;
+        let samsung = advisor(MotionLevel::Low);
+        assert!(samsung.power.name.contains("Samsung"), "{}", samsung.power.name);
+        let htc =
+            PolicyAdvisor::calibrate(MotionLevel::Low, 30, HTC_AMAZE_4G, Algorithm::Aes256);
+        assert!(htc.power.name.contains("HTC"), "{}", htc.power.name);
+    }
+
+    #[test]
     fn evaluate_is_consistent_with_mode_costs() {
         let a = advisor(MotionLevel::High);
         let none = a.evaluate(EncryptionMode::None);

@@ -97,6 +97,61 @@ mod tests {
     }
 
     #[test]
+    fn headline_ratios_are_internally_consistent() {
+        let advisor = PolicyAdvisor::calibrate(
+            MotionLevel::High,
+            30,
+            SAMSUNG_GALAXY_S2,
+            Algorithm::Aes256,
+        );
+        let h = headline_metrics(MotionLevel::High, &advisor);
+        // Both ratios are genuine savings: strictly inside (0, 1).
+        assert!((0.0..1.0).contains(&h.delay_reduction), "{h:?}");
+        assert!((0.0..1.0).contains(&h.energy_savings), "{h:?}");
+        // The recomputed delay ratio matches its definition.
+        let balanced = advisor.recommend(PrivacyPreference::Balanced);
+        let full = advisor.recommend(PrivacyPreference::FullPrivacy);
+        let expected = 1.0 - balanced.delay.mean_delay_s / full.delay.mean_delay_s;
+        assert!((h.delay_reduction - expected).abs() < 1e-12);
+        // Full encryption can only obfuscate at least as hard as balanced,
+        // and MOS floors at 1 (unviewable).
+        assert!(h.full_mos <= h.balanced_mos + 1e-9, "{h:?}");
+        assert!(h.full_mos >= 1.0 && h.balanced_mos >= 1.0, "{h:?}");
+    }
+
+    #[test]
+    fn slow_3des_delay_reduction_pins_the_paper_headline() {
+        // The abstract's "as much as 75%" delay figure comes from the
+        // slow-motion 3DES cell; the calibrated model reproduces it to
+        // within a few points (EXPERIMENTS.md records 75.1%).
+        let advisor = PolicyAdvisor::calibrate(
+            MotionLevel::Low,
+            30,
+            SAMSUNG_GALAXY_S2,
+            Algorithm::TripleDes,
+        );
+        let h = headline_metrics(MotionLevel::Low, &advisor);
+        assert!(
+            (0.70..0.80).contains(&h.delay_reduction),
+            "delay reduction {} should sit at the paper's ≈75%",
+            h.delay_reduction
+        );
+        assert!(h.energy_savings > 0.9, "energy savings {}", h.energy_savings);
+    }
+
+    #[test]
+    fn balanced_policy_keeps_the_stream_unviewable() {
+        // Table 2's criterion: the recommended policy leaves the
+        // eavesdropper at MOS ≈ 1 on both content classes.
+        for motion in [MotionLevel::Low, MotionLevel::High] {
+            let advisor =
+                PolicyAdvisor::calibrate(motion, 30, SAMSUNG_GALAXY_S2, Algorithm::Aes256);
+            let h = headline_metrics(motion, &advisor);
+            assert!(h.balanced_mos < 1.2, "{motion}: MOS {}", h.balanced_mos);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "advisor must be calibrated")]
     fn mismatched_motion_is_rejected() {
         let advisor = PolicyAdvisor::calibrate(

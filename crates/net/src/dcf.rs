@@ -86,6 +86,37 @@ pub struct DcfSolution {
     pub backoff_rate_hz: f64,
 }
 
+/// Why a DCF model could not be built or solved.
+///
+/// The model's fields are public (so calibrated scenarios can be edited in
+/// place); a struct assembled with degenerate values used to drive the
+/// fixed-point iteration into `powf` of a negative base — a NaN that then
+/// leaked into every downstream delay figure. [`DcfModel::try_solve`]
+/// reports these inputs as errors instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DcfError {
+    /// `stations = 0`: the model needs at least the sender itself.
+    NoStations,
+    /// The channel PER is outside `[0, 1)` (1.0 means no packet ever
+    /// succeeds — the saturation point where `p_s = 0` and the mean backoff
+    /// time diverges).
+    InvalidPer(f64),
+    /// A PHY timing/window parameter is non-finite or non-positive.
+    InvalidPhy,
+}
+
+impl std::fmt::Display for DcfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DcfError::NoStations => write!(f, "need at least the sender itself"),
+            DcfError::InvalidPer(per) => write!(f, "PER must be in [0, 1), got {per}"),
+            DcfError::InvalidPhy => write!(f, "PHY parameters must be finite and positive"),
+        }
+    }
+}
+
+impl std::error::Error for DcfError {}
+
 /// Bianchi DCF model: `n` contending stations plus a channel packet error
 /// rate (PER) for non-collision losses.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,16 +132,47 @@ pub struct DcfModel {
 impl DcfModel {
     /// Build a model; panics on nonsensical inputs.
     pub fn new(stations: usize, channel_per: f64, phy: PhyParams) -> Self {
-        assert!(stations >= 1, "need at least the sender itself");
-        assert!(
-            (0.0..1.0).contains(&channel_per),
-            "PER must be in [0, 1)"
-        );
-        DcfModel {
+        match Self::try_new(stations, channel_per, phy) {
+            Ok(m) => m,
+            Err(DcfError::NoStations) => panic!("need at least the sender itself"),
+            Err(DcfError::InvalidPer(_)) => panic!("PER must be in [0, 1)"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Build a model, reporting degenerate inputs as [`DcfError`]s.
+    pub fn try_new(stations: usize, channel_per: f64, phy: PhyParams) -> Result<Self, DcfError> {
+        let model = DcfModel {
             stations,
             channel_per,
             phy,
+        };
+        model.validate()?;
+        Ok(model)
+    }
+
+    fn validate(&self) -> Result<(), DcfError> {
+        if self.stations == 0 {
+            return Err(DcfError::NoStations);
         }
+        if !(0.0..1.0).contains(&self.channel_per) {
+            return Err(DcfError::InvalidPer(self.channel_per));
+        }
+        let phy = &self.phy;
+        let times_finite = [
+            phy.data_rate_bps,
+            phy.basic_rate_bps,
+            phy.slot_s,
+            phy.sifs_s,
+            phy.difs_s,
+            phy.phy_overhead_s,
+        ]
+        .iter()
+        .all(|t| t.is_finite() && *t > 0.0);
+        if !times_finite || phy.cw_min == 0 {
+            return Err(DcfError::InvalidPhy);
+        }
+        Ok(())
     }
 
     /// Bianchi's τ(p): attempt probability given collision probability.
@@ -126,7 +188,20 @@ impl DcfModel {
     }
 
     /// Solve the fixed point `p = 1 − (1 − τ(p))^{n−1}` by damped iteration.
+    ///
+    /// Panics if the model's (public) fields were edited into a degenerate
+    /// state after construction; use [`try_solve`](Self::try_solve) to get a
+    /// `Result` instead. Never returns NaN.
     pub fn solve(&self) -> DcfSolution {
+        self.try_solve()
+            .unwrap_or_else(|e| panic!("DCF model is degenerate: {e}"))
+    }
+
+    /// Solve the fixed point, validating the model first so degenerate
+    /// inputs (`stations = 0`, `channel_per ≥ 1`, broken PHY timings)
+    /// surface as [`DcfError`]s rather than NaN operating points.
+    pub fn try_solve(&self) -> Result<DcfSolution, DcfError> {
+        self.validate()?;
         let n = self.stations as f64;
         let mut p = 0.1;
         for _ in 0..10_000 {
@@ -148,13 +223,23 @@ impl DcfModel {
         // needs an exponential with matching mean.
         let mean_cw_slots = self.phy.cw_min as f64; // E[U(0, 2·CWmin)] = CWmin
         let mean_backoff_wait_s = mean_cw_slots * self.phy.slot_s;
-        DcfSolution {
+        Ok(DcfSolution {
             tau,
             collision_prob: collision,
             packet_success_rate: p_s,
             mean_backoff_wait_s,
             backoff_rate_hz: 1.0 / mean_backoff_wait_s,
-        }
+        })
+    }
+}
+
+impl DcfSolution {
+    /// Expected time a packet spends in backoff before its successful
+    /// attempt: `(1/p_s − 1)` failed attempts, each followed by a mean
+    /// backoff wait — the per-packet contention cost that the calibrated
+    /// service time (eqs. 6–7) folds in. Grows without bound as `p_s → 0`.
+    pub fn expected_backoff_s(&self) -> f64 {
+        (1.0 / self.packet_success_rate - 1.0) * self.mean_backoff_wait_s
     }
 }
 
@@ -252,5 +337,93 @@ mod tests {
     #[should_panic(expected = "PER must be in")]
     fn bad_per_rejected() {
         DcfModel::new(2, 1.0, PhyParams::g_54mbps());
+    }
+
+    #[test]
+    fn per_packet_contention_cost_is_monotone_in_stations() {
+        // The service-time ingredient the queue consumes — expected backoff
+        // before success — must not decrease when contenders join, and the
+        // success rate must not increase.
+        let mut last_cost = -1.0;
+        let mut last_ps = 2.0;
+        for n in 1..=120usize {
+            let s = model(n).solve();
+            let cost = s.expected_backoff_s();
+            assert!(
+                cost >= last_cost,
+                "backoff cost dropped at n={n}: {cost} after {last_cost}"
+            );
+            assert!(
+                s.packet_success_rate <= last_ps,
+                "p_s rose at n={n}: {} after {last_ps}",
+                s.packet_success_rate
+            );
+            assert!(cost.is_finite() && s.packet_success_rate.is_finite());
+            last_cost = cost;
+            last_ps = s.packet_success_rate;
+        }
+    }
+
+    #[test]
+    fn degenerate_structs_error_instead_of_nan() {
+        // The fields are public, so a struct literal can bypass `new`;
+        // before `try_solve` validated, `stations = 0` drove the fixed point
+        // through powf of a negative base and returned NaN.
+        let zero_stations = DcfModel {
+            stations: 0,
+            channel_per: 0.0,
+            phy: PhyParams::g_54mbps(),
+        };
+        assert_eq!(zero_stations.try_solve(), Err(DcfError::NoStations));
+
+        let saturated = DcfModel {
+            stations: 5,
+            channel_per: 1.0,
+            phy: PhyParams::g_54mbps(),
+        };
+        assert_eq!(saturated.try_solve(), Err(DcfError::InvalidPer(1.0)));
+
+        let nan_per = DcfModel {
+            stations: 5,
+            channel_per: f64::NAN,
+            phy: PhyParams::g_54mbps(),
+        };
+        assert!(matches!(nan_per.try_solve(), Err(DcfError::InvalidPer(_))));
+
+        let mut broken_phy = PhyParams::g_54mbps();
+        broken_phy.slot_s = f64::NAN;
+        let bad_phy = DcfModel {
+            stations: 5,
+            channel_per: 0.02,
+            phy: broken_phy,
+        };
+        assert_eq!(bad_phy.try_solve(), Err(DcfError::InvalidPhy));
+    }
+
+    #[test]
+    #[should_panic(expected = "DCF model is degenerate")]
+    fn solve_panics_rather_than_returning_nan() {
+        let m = DcfModel {
+            stations: 0,
+            channel_per: 0.0,
+            phy: PhyParams::g_54mbps(),
+        };
+        let _ = m.solve();
+    }
+
+    #[test]
+    fn try_new_matches_new() {
+        let a = DcfModel::try_new(5, 0.02, PhyParams::g_54mbps()).unwrap();
+        let b = DcfModel::new(5, 0.02, PhyParams::g_54mbps());
+        assert_eq!(a, b);
+        assert_eq!(a.try_solve().unwrap(), b.solve());
+    }
+
+    #[test]
+    fn expected_backoff_matches_geometric_mean() {
+        let s = model(10).solve();
+        let expected = (1.0 / s.packet_success_rate - 1.0) * s.mean_backoff_wait_s;
+        assert!((s.expected_backoff_s() - expected).abs() < 1e-18);
+        assert!(s.expected_backoff_s() > 0.0);
     }
 }

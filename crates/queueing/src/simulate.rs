@@ -8,6 +8,7 @@
 
 use crate::mmpp::Mmpp2;
 use crate::service::ServiceDistribution;
+use crate::solver_n::MmppN;
 use rand::Rng;
 
 /// Summary statistics of a simulated queue run.
@@ -42,6 +43,54 @@ pub fn simulate_mmpp_g1<R: Rng + ?Sized>(
     let mut sum_service = 0.0f64;
     let mut prev_arrival = arrivals[0].0;
     // First packet arrives to an empty system.
+    let mut service_time = service.sample(rng);
+    sum_service += service_time;
+    for &(t, _) in arrivals.iter().skip(1) {
+        let gap = t - prev_arrival;
+        wait = (wait + service_time - gap).max(0.0);
+        sum_wait += wait;
+        service_time = service.sample(rng);
+        sum_service += service_time;
+        prev_arrival = t;
+    }
+    let horizon = arrivals.last().unwrap().0.max(f64::MIN_POSITIVE);
+    let mean_wait = sum_wait / packets as f64;
+    let mean_service = sum_service / packets as f64;
+    SimulatedQueueStats {
+        packets,
+        mean_wait_s: mean_wait,
+        mean_sojourn_s: mean_wait + mean_service,
+        mean_service_s: mean_service,
+        utilization: (sum_service / horizon).min(1.0),
+    }
+}
+
+/// [`simulate_mmpp_g1`] for the general n-state arrival process: the same
+/// Lindley recursion, fed by [`MmppN::sample_arrivals`]. Used by the
+/// differential suite to validate [`crate::solver_n::MmppNG1`] against
+/// Monte-Carlo on 3- and 4-state inputs, where no closed form exists.
+pub fn simulate_mmpp_n_g1<R: Rng + ?Sized>(
+    mmpp: &MmppN,
+    service: &ServiceDistribution,
+    packets: usize,
+    rng: &mut R,
+) -> SimulatedQueueStats {
+    assert!(packets > 0, "need at least one packet");
+    let arrivals = mmpp.sample_arrivals(packets, rng);
+    lindley(&arrivals, service, rng)
+}
+
+/// The shared Lindley loop over timestamped arrivals.
+fn lindley<R: Rng + ?Sized>(
+    arrivals: &[(f64, usize)],
+    service: &ServiceDistribution,
+    rng: &mut R,
+) -> SimulatedQueueStats {
+    let packets = arrivals.len();
+    let mut wait = 0.0f64;
+    let mut sum_wait = 0.0f64;
+    let mut sum_service = 0.0f64;
+    let mut prev_arrival = arrivals[0].0;
     let mut service_time = service.sample(rng);
     sum_service += service_time;
     for &(t, _) in arrivals.iter().skip(1) {

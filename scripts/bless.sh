@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate the golden-vector snapshots under tests/golden/.
+#
+# Run this after an *intentional* change to any figure/table output, review
+# the resulting JSON diff like code, and commit it together with the change.
+# The regression test (tests/golden_figures.rs) compares at tolerance 0 —
+# every number bit-identical — so an unreviewed diff here means an
+# unexplained behaviour change somewhere in the pipeline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN_BLESS=1 cargo test --test golden_figures -- --nocapture
+echo
+echo "Blessed snapshots:"
+git status --short tests/golden/ || true

@@ -36,4 +36,17 @@ timeout 600 ./target/release/reproduce faults --no-bench-json > "$tmp/faults_a.t
 timeout 600 ./target/release/reproduce faults --no-bench-json > "$tmp/faults_b.txt"
 cmp "$tmp/faults_a.txt" "$tmp/faults_b.txt"
 
+echo "==> fleet scaling smoke sweep (self-verifying; deadlock fails as exit 124)"
+# The sweep asserts its own guarantees and exits non-zero on violation:
+# N=1 byte-identity with the single-sender path, same-seed metered runs
+# bit-reproducible, 2-state/n-state solver agreement, and a solve-cache hit
+# rate > 90% on the 100-flow cells. `timeout` turns a sharding deadlock
+# into exit 124.
+timeout 600 ./target/release/reproduce fleet --no-bench-json > "$tmp/fleet_a.txt"
+timeout 600 ./target/release/reproduce fleet --no-bench-json > "$tmp/fleet_b.txt"
+cmp "$tmp/fleet_a.txt" "$tmp/fleet_b.txt"
+
+echo "==> golden-vector regression suite (tolerance 0)"
+cargo test --release --test golden_figures
+
 echo "All checks passed."
