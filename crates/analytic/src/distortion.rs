@@ -217,6 +217,7 @@ impl<'a> DistortionModel<'a> {
             // Case 2/3: I lost — evolve the carried display MSE.
             if p_state[0] > 0.0 {
                 for (b, &prob) in state.iter().enumerate() {
+                    // lint:allow(num-float-eq): exact-zero skip of empty probability buckets; any nonzero mass must be processed
                     if prob == 0.0 {
                         continue;
                     }

@@ -518,6 +518,7 @@ pub fn verify_fault_matrix(table: &Table) -> Vec<String> {
             .unwrap_or(f64::NAN)
     };
     for row in &table.rows {
+        // lint:allow(num-float-eq): indicator column stores exactly 1.0 or 0.0
         if col(row, "reproducible") != 1.0 {
             violations.push(format!("{}: run was not bit-reproducible", row.label));
         }
@@ -529,12 +530,15 @@ pub fn verify_fault_matrix(table: &Table) -> Vec<String> {
             ));
         }
         if row.label.ends_with("baseline") {
+            // lint:allow(num-float-eq): indicator column stores exactly 1.0 or 0.0
             if col(row, "clean-identical") != 1.0 {
                 violations.push(format!("{}: empty plan diverged from clean run", row.label));
             }
+            // lint:allow(num-float-eq): fault counter column is an integer stored in f64; exact zero means none fired
             if col(row, "faults injected") != 0.0 {
                 violations.push(format!("{}: empty plan injected faults", row.label));
             }
+        // lint:allow(num-float-eq): fault counter column is an integer stored in f64; exact zero means none fired
         } else if col(row, "faults injected") == 0.0 {
             violations.push(format!("{}: armed plan injected nothing", row.label));
         }

@@ -176,9 +176,11 @@ pub fn verify_fleet_sweep(table: &Table) -> Vec<String> {
             .unwrap_or(f64::NAN)
     };
     for row in &table.rows {
+        // lint:allow(num-float-eq): indicator column stores exactly 1.0 or 0.0
         if col(row, "reproducible") != 1.0 {
             violations.push(format!("{}: metered run was not bit-reproducible", row.label));
         }
+        // lint:allow(num-float-eq): indicator column stores exactly 1.0 or 0.0
         if col(row, "single-sender ==") != 1.0 {
             violations.push(format!(
                 "{}: N=1 cell diverged from the single-sender path",

@@ -184,6 +184,7 @@ impl Table {
 }
 
 fn format_value(v: f64) -> String {
+    // lint:allow(num-float-eq): exact zero picks the "0" rendering; near-zero values format normally
     if v == 0.0 {
         "0".into()
     } else if v.abs() >= 100.0 {
@@ -522,6 +523,7 @@ pub fn table2(effort: Effort) -> Table {
 pub fn table2_with(effort: Effort, metrics: bool) -> (Table, Option<FigureMetrics>) {
     let alphas = [0.0, 0.10, 0.15, 0.20, 0.25, 0.30, 0.50];
     let results = par_map(&alphas, |&alpha| {
+        // lint:allow(num-float-eq): alpha 0.0 is an exact grid point selecting the I-frames-only mode
         let mode = if alpha == 0.0 {
             EncryptionMode::IFrames
         } else {

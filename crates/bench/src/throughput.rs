@@ -52,6 +52,7 @@ pub fn measure_cipher_throughput(segment_len: usize, budget: Duration) -> Vec<Ci
                 .expect("32-byte key covers every algorithm");
             let mut buf = vec![0xA5u8; segment_len];
             let time_batch = |iters: u64, buf: &mut [u8]| {
+                // lint:allow(det-wall-clock): wall-clock here measures real cipher throughput; it never feeds simulated state or figure values
                 let start = Instant::now();
                 for seq in 0..iters {
                     cipher.encrypt_segment(seq, buf);

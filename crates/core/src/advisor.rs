@@ -143,6 +143,7 @@ impl PolicyAdvisor {
     fn balanced(&self) -> Recommendation {
         let mut best: Option<Recommendation> = None;
         for &alpha in &self.alpha_grid {
+            // lint:allow(num-float-eq): alpha 0.0 is an exact grid point selecting the I-frames-only mode
             let mode = if alpha == 0.0 {
                 EncryptionMode::IFrames
             } else {

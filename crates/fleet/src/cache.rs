@@ -24,7 +24,7 @@
 //! [`DelayModel::predict`]: thrifty_analytic::delay::DelayModel::predict
 //! [`MmppNG1::solve`]: thrifty_queueing::solver_n::MmppNG1::solve
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use thrifty_analytic::delay::{DelayModel, DelayPrediction};
@@ -93,9 +93,9 @@ fn queue_key(kind: &str, params: &ScenarioParams, stations: usize, policy: Polic
 /// the hit/miss counters it reports are deterministic.
 #[derive(Default)]
 pub struct SolveCache {
-    dcf: Mutex<HashMap<String, DcfSolution>>,
-    delay: Mutex<HashMap<String, DelayPrediction>>,
-    queue_n: Mutex<HashMap<String, QueueSolutionN>>,
+    dcf: Mutex<BTreeMap<String, DcfSolution>>,
+    delay: Mutex<BTreeMap<String, DelayPrediction>>,
+    queue_n: Mutex<BTreeMap<String, QueueSolutionN>>,
 }
 
 impl SolveCache {
@@ -110,7 +110,7 @@ impl SolveCache {
     }
 
     fn memo<T: Clone, E>(
-        map: &Mutex<HashMap<String, T>>,
+        map: &Mutex<BTreeMap<String, T>>,
         key: String,
         metrics: &MetricsRegistry,
         compute: impl FnOnce() -> Result<T, E>,

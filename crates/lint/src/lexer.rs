@@ -1,0 +1,498 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The lexer's one job is to let the rule engine pattern-match over *code*
+//! without being fooled by comments, strings, raw strings, char literals or
+//! lifetimes. It is not a full Rust tokenizer: it produces a flat token
+//! stream with line numbers and makes no attempt at parsing. Fidelity
+//! requirements, in order of importance:
+//!
+//! 1. never misclassify comment/string contents as code (false positives),
+//! 2. never swallow code into a comment/string (false negatives),
+//! 3. distinguish float literals from integers and ranges (`1.0` vs `1..2`),
+//! 4. keep comments as tokens so the waiver scanner can read them.
+//!
+//! Consistent with the workspace `compat/` policy the lexer has no
+//! dependencies outside `std`.
+
+/// Token classes the rule engine distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `as`, `HashMap`, …).
+    Ident,
+    /// Integer literal, including hex/octal/binary forms (`3`, `0xFF`).
+    Int,
+    /// Float literal (`1.0`, `2.75e-4`, `1e-9`, `1f64`).
+    Float,
+    /// String literal of any flavour (cooked, raw, byte, C).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\xFF'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation, possibly multi-character (`::`, `==`, `..=`).
+    Punct,
+    /// Line or block comment, text preserved verbatim for waiver parsing.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// Multi-character punctuation, longest first so maximal munch wins.
+const PUNCTS: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+/// Lex Rust source into a flat token stream.
+///
+/// The lexer is total: any input produces a token stream (unterminated
+/// strings or comments are closed at end of input) so a syntactically
+/// broken file degrades to best-effort findings instead of a crash.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    };
+    lx.run();
+    lx.out
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consume one char, keeping the line counter honest.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if let Some(n) = self.string_prefix_len() {
+                self.string_like(n, line);
+            } else if c == '\'' {
+                self.char_or_lifetime(line);
+            } else if c == 'b' && self.peek(1) == Some('\'') {
+                // Byte-char literal `b'x'`.
+                self.bump();
+                self.char_or_lifetime(line);
+            } else if c.is_alphabetic() || c == '_' {
+                self.ident(line);
+            } else if c.is_ascii_digit() {
+                self.number(line);
+            } else {
+                self.punct(line);
+            }
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    /// If the cursor sits on a string-literal opener (`"`, `b"`, `c"`,
+    /// `r"`, `r#"`, `br##"` …) return how many chars the prefix spans up to
+    /// and including the opening quote; `None` otherwise.
+    fn string_prefix_len(&self) -> Option<usize> {
+        let mut i = 0usize;
+        // Optional b/c prefix, then optional r with hashes.
+        match self.peek(i) {
+            Some('b') | Some('c') => i += 1,
+            _ => {}
+        }
+        if self.peek(i) == Some('r') {
+            i += 1;
+            while self.peek(i) == Some('#') {
+                i += 1;
+            }
+        }
+        if self.peek(i) == Some('"') {
+            Some(i + 1)
+        } else {
+            None
+        }
+    }
+
+    fn string_like(&mut self, prefix_len: usize, line: u32) {
+        let mut text = String::new();
+        let mut hashes = 0usize;
+        let mut raw = false;
+        for _ in 0..prefix_len {
+            let c = self.bump().unwrap_or('"');
+            if c == '#' {
+                hashes += 1;
+            }
+            if c == 'r' {
+                raw = true;
+            }
+            text.push(c);
+        }
+        if raw {
+            // Raw string: ends at `"` followed by the same number of `#`s.
+            while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if self.peek(k) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes {
+                            if let Some(h) = self.bump() {
+                                text.push(h);
+                            }
+                        }
+                        break;
+                    }
+                }
+            }
+        } else {
+            // Cooked string: backslash escapes, ends at an unescaped quote.
+            while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                } else if c == '"' {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Disambiguate `'a'` / `'\n'` (char) from `'a` / `'static` (lifetime).
+    fn char_or_lifetime(&mut self, line: u32) {
+        let mut text = String::from(self.bump().unwrap_or('\'')); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume the escape, then to the quote.
+                text.push(self.bump().unwrap_or('\\'));
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                    if e == 'u' {
+                        while let Some(c) = self.bump() {
+                            text.push(c);
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    } else if e == 'x' {
+                        for _ in 0..2 {
+                            if let Some(c) = self.bump() {
+                                text.push(c);
+                            }
+                        }
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    text.push(self.bump().unwrap_or('\''));
+                }
+                self.push(TokKind::Char, text, line);
+            }
+            Some(c) if self.peek(1) == Some('\'') => {
+                // Plain char literal 'x'.
+                text.push(c);
+                self.bump();
+                text.push(self.bump().unwrap_or('\''));
+                self.push(TokKind::Char, text, line);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                // Lifetime: consume the identifier part.
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, text, line);
+            }
+            _ => {
+                // A stray quote; emit as punctuation to stay total.
+                self.push(TokKind::Punct, text, line);
+            }
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        // Raw identifier `r#type`.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            if let Some(c) = self.peek(2) {
+                if c.is_alphabetic() || c == '_' {
+                    text.push(self.bump().unwrap_or('r'));
+                    text.push(self.bump().unwrap_or('#'));
+                }
+            }
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut kind = TokKind::Int;
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x') | Some('o') | Some('b') | Some('X'))
+        {
+            // Radix literal: digits, underscores and type suffix letters.
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Int, text, line);
+            return;
+        }
+        self.digits(&mut text);
+        // Fractional part: a dot followed by a digit (or a bare trailing
+        // dot that is not a range/method/field access) makes it a float.
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    kind = TokKind::Float;
+                    text.push(self.bump().unwrap_or('.'));
+                    self.digits(&mut text);
+                }
+                // `1..2` is a range, `1.max(..)`/`x.0.field` stay integers.
+                Some('.') => {}
+                Some(c) if c.is_alphabetic() || c == '_' => {}
+                // A bare trailing dot (`1.;`) is a float in Rust.
+                _ => {
+                    kind = TokKind::Float;
+                    text.push(self.bump().unwrap_or('.'));
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let (sign, first_digit) = match self.peek(1) {
+                Some('+') | Some('-') => (true, self.peek(2)),
+                other => (false, other),
+            };
+            if matches!(first_digit, Some(c) if c.is_ascii_digit()) {
+                kind = TokKind::Float;
+                text.push(self.bump().unwrap_or('e'));
+                if sign {
+                    text.push(self.bump().unwrap_or('-'));
+                }
+                self.digits(&mut text);
+            }
+        }
+        // Type suffix (`u8`, `f64`, …): a float suffix forces Float.
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            kind = TokKind::Float;
+        }
+        text.push_str(&suffix);
+        self.push(kind, text, line);
+    }
+
+    fn digits(&mut self, text: &mut String) {
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn punct(&mut self, line: u32) {
+        for p in PUNCTS {
+            if self.starts_with(p) {
+                for _ in 0..p.chars().count() {
+                    self.bump();
+                }
+                self.push(TokKind::Punct, (*p).to_string(), line);
+                return;
+            }
+        }
+        let c = self.bump().unwrap_or(' ');
+        self.push(TokKind::Punct, c.to_string(), line);
+    }
+
+    fn starts_with(&self, pat: &str) -> bool {
+        pat.chars()
+            .enumerate()
+            .all(|(i, pc)| self.peek(i) == Some(pc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let toks = kinds("let x = \"Instant::now()\"; // Instant::now()\n/* dbg!(x) */");
+        assert!(toks
+            .iter()
+            .all(|(k, t)| !(matches!(k, TokKind::Ident) && t == "Instant")));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Comment).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r####"let s = r#"panic!("inner " quote")"#; let y = 1;"####);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "y"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "panic"));
+    }
+
+    #[test]
+    fn floats_ints_and_ranges() {
+        let toks = kinds("a[0]; 1.0 == x; 0..2; 2.75e-4; 1e-9; 7f64; 0xFF; x.0");
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.0", "2.75e-4", "1e-9", "7f64"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == ".."));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Int && t == "0xFF"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let q = '\\''; }");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_accurate() {
+        let toks = lex("a\nb\n\ncd // tail\ne");
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(2));
+        assert_eq!(find("cd"), Some(4));
+        assert_eq!(find("e"), Some(5));
+    }
+
+    #[test]
+    fn multichar_puncts_munch_maximally() {
+        let toks = kinds("a ..= b; c != 1.0; d :: e; f == g");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .filter(|t| *t != ";")
+            .collect();
+        assert_eq!(puncts, vec!["..=", "!=", "::", "=="]);
+    }
+
+    #[test]
+    fn unterminated_input_still_lexes() {
+        assert!(!lex("let s = \"never closed").is_empty());
+        assert!(!lex("/* never closed").is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+//! `thrifty-lint` binary — see `thrifty_lint::run_cli` for the behavior.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(thrifty_lint::run_cli(&args))
+}

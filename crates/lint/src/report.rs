@@ -1,0 +1,151 @@
+//! Findings and deterministic report rendering (text and JSON).
+//!
+//! Reports are byte-identical across runs by construction: findings are
+//! sorted by `(path, line, rule, message)`, paths are workspace-relative
+//! with `/` separators, and no timestamps, durations or absolute paths are
+//! ever emitted.
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line of the violation.
+    pub line: u32,
+    /// Rule name (kebab-case, as used in waivers).
+    pub rule: String,
+    /// Human-readable description with the suggested remedy.
+    pub message: String,
+}
+
+/// The outcome of a workspace scan.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Unwaived findings, sorted for deterministic output.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sort findings into canonical order. Idempotent; called once by the
+    /// scanners so renderers can assume sorted input.
+    pub fn normalize(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message)));
+    }
+
+    /// Render the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.path, f.line, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "thrifty-lint: {} finding{} in {} file{} scanned\n",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.files_scanned,
+            if self.files_scanned == 1 { "" } else { "s" },
+        ));
+        if !self.findings.is_empty() {
+            out.push_str(
+                "fix the code, or waive with an audited `// lint:allow(<rule>): <reason>`\n",
+            );
+        }
+        out
+    }
+
+    /// Render the machine-readable report (stable field order, sorted
+    /// findings, no timestamps — byte-identical across runs).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"finding_count\": {},\n", self.findings.len()));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&f.path),
+                f.line,
+                json_str(&f.rule),
+                json_str(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(path: &str, line: u32, rule: &str) -> Finding {
+        Finding {
+            path: path.into(),
+            line,
+            rule: rule.into(),
+            message: "m \"quoted\"".into(),
+        }
+    }
+
+    #[test]
+    fn findings_sort_by_path_then_line_then_rule() {
+        let mut r = Report {
+            findings: vec![f("b.rs", 1, "x"), f("a.rs", 9, "x"), f("a.rs", 2, "z"), f("a.rs", 2, "a")],
+            files_scanned: 4,
+        };
+        r.normalize();
+        let order: Vec<_> = r.findings.iter().map(|f| (f.path.as_str(), f.line)).collect();
+        assert_eq!(order, vec![("a.rs", 2), ("a.rs", 2), ("a.rs", 9), ("b.rs", 1)]);
+        assert_eq!(r.findings[0].rule, "a");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let r = Report {
+            findings: vec![f("a.rs", 1, "x")],
+            files_scanned: 1,
+        };
+        let j = r.render_json();
+        assert!(j.contains("m \\\"quoted\\\""));
+        assert!(j.contains("\"finding_count\": 1"));
+    }
+
+    #[test]
+    fn empty_report_renders_cleanly() {
+        let r = Report::default();
+        assert!(r.render_text().contains("0 findings"));
+        assert!(r.render_json().contains("\"findings\": []"));
+    }
+}

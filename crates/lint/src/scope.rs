@@ -1,0 +1,165 @@
+//! Test-code detection.
+//!
+//! Most rules only apply to shipped code: tests legitimately `unwrap`,
+//! compare floats exactly against golden values, and time things. A line is
+//! *test code* when
+//!
+//! - the file lives under a `tests/` or `benches/` directory, or
+//! - it falls inside the braces of an item annotated `#[test]` or
+//!   `#[cfg(test)]` (including `#[cfg(all(test, …))]` forms).
+//!
+//! Detection is token-based: an attribute whose first identifier is `test`,
+//! or whose first identifier is `cfg` and which mentions `test` anywhere,
+//! marks the next braced item as a test region.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Sorted, possibly overlapping line ranges classified as test code.
+#[derive(Debug, Default, Clone)]
+pub struct TestRegions {
+    /// Whole file is test code (path under `tests/` or `benches/`).
+    whole_file: bool,
+    /// Inclusive `(start, end)` line ranges of `#[cfg(test)]`/`#[test]` items.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl TestRegions {
+    /// True if `line` is test code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.whole_file || self.ranges.iter().any(|&(s, e)| line >= s && line <= e)
+    }
+}
+
+/// True for paths whose every line counts as test code.
+fn is_test_path(rel_path: &str) -> bool {
+    rel_path.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+/// Compute the test regions of one file from its path and token stream.
+pub fn test_regions(rel_path: &str, toks: &[Tok]) -> TestRegions {
+    let mut regions = TestRegions {
+        whole_file: is_test_path(rel_path),
+        ranges: Vec::new(),
+    };
+    if regions.whole_file {
+        return regions;
+    }
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].text == "#" && i + 1 < code.len() && code[i + 1].text == "[" {
+            let close = match matching(&code, i + 1, "[", "]") {
+                Some(c) => c,
+                None => break,
+            };
+            if attr_marks_test(&code[i + 2..close]) {
+                if let Some((start, end)) = braced_item_after(&code, close + 1) {
+                    regions.ranges.push((start, end));
+                }
+            }
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Find the index of the token closing the group opened at `open_idx`.
+fn matching(code: &[&Tok], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = open_idx;
+    while j < code.len() {
+        if code[j].text == open {
+            depth += 1;
+        } else if code[j].text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Does the attribute body (tokens between `[` and `]`) mark a test item?
+fn attr_marks_test(body: &[&Tok]) -> bool {
+    let first_ident = body.iter().find(|t| t.kind == TokKind::Ident);
+    match first_ident {
+        Some(t) if t.text == "test" => true,
+        Some(t) if t.text == "cfg" => body
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "test"),
+        _ => false,
+    }
+}
+
+/// Starting at `from`, skip further attributes and locate the `{ … }` body
+/// of the annotated item, returning its inclusive line span.
+fn braced_item_after(code: &[&Tok], mut from: usize) -> Option<(u32, u32)> {
+    // Skip stacked attributes (`#[test] #[ignore] fn …`).
+    while from + 1 < code.len() && code[from].text == "#" && code[from + 1].text == "[" {
+        from = matching(code, from + 1, "[", "]")? + 1;
+    }
+    // Scan to the opening brace; a `;` first means a bodyless item
+    // (`#[cfg(test)] mod tests;`) which we conservatively skip.
+    let mut j = from;
+    while j < code.len() {
+        match code[j].text.as_str() {
+            "{" => {
+                let close = matching(code, j, "{", "}")?;
+                return Some((code[j].line, code[close].line));
+            }
+            ";" => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_module_is_a_region() {
+        let src = "fn shipped() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn also_shipped() {}\n";
+        let r = test_regions("crates/x/src/lib.rs", &lex(src));
+        assert!(!r.is_test_line(1));
+        assert!(r.is_test_line(3));
+        assert!(r.is_test_line(4));
+        assert!(r.is_test_line(5));
+        assert!(!r.is_test_line(6));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attrs() {
+        let src = "#[test]\n#[should_panic(expected = \"boom\")]\nfn explodes() {\n    body();\n}\n";
+        let r = test_regions("crates/x/src/lib.rs", &lex(src));
+        assert!(r.is_test_line(4));
+    }
+
+    #[test]
+    fn cfg_all_test_counts() {
+        let src = "#[cfg(all(test, feature = \"slow\"))]\nmod slow { fn f() {} }\n";
+        let r = test_regions("crates/x/src/lib.rs", &lex(src));
+        assert!(r.is_test_line(2));
+    }
+
+    #[test]
+    fn tests_dir_is_whole_file() {
+        let r = test_regions("crates/x/tests/integration.rs", &lex("fn f() {}"));
+        assert!(r.is_test_line(1));
+        let b = test_regions("crates/x/benches/bench.rs", &lex("fn f() {}"));
+        assert!(b.is_test_line(1));
+    }
+
+    #[test]
+    fn should_panic_alone_is_not_a_test_marker() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() {}\n";
+        let r = test_regions("crates/x/src/lib.rs", &lex(src));
+        assert!(!r.is_test_line(3));
+    }
+}

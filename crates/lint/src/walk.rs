@@ -1,0 +1,85 @@
+//! Workspace file discovery.
+//!
+//! Collects every `.rs` file under the workspace root in a deterministic
+//! (path-sorted) order, skipping build output (`target/`), VCS metadata,
+//! and lint fixture corpora (`fixtures/` directories hold deliberately
+//! bad snippets that must not fail the clean-workspace gate).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", ".github"];
+
+/// Collect workspace-relative paths (with `/` separators) of every `.rs`
+/// file under `root`, sorted lexicographically.
+pub fn rust_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    let rel = rel
+                        .components()
+                        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                        .collect::<Vec<_>>()
+                        .join("/");
+                    out.push(rel);
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Locate the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_scan_is_sorted_and_skips_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = rust_files(&root).expect("workspace must be readable");
+        assert!(files.len() > 50, "expected a full workspace, got {}", files.len());
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+        assert!(files.iter().all(|f| !f.contains("fixtures/")));
+        assert!(files.iter().all(|f| !f.starts_with("target/")));
+        assert!(files.iter().any(|f| f == "crates/net/src/wire.rs"));
+    }
+
+    #[test]
+    fn finds_workspace_root_from_crate_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root above crate");
+        assert!(root.join("Cargo.toml").exists());
+    }
+}

@@ -1,0 +1,24 @@
+//! The shipped workspace must lint clean — this test *is* the standing
+//! gate: any new violation fails `cargo test` even before `scripts/check.sh`
+//! runs the binary.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    let report = thrifty_lint::scan_workspace(root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "walker found suspiciously few files: {}",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must lint clean; fix or waive:\n{}",
+        report.render_text()
+    );
+}

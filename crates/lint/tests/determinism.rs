@@ -1,0 +1,40 @@
+//! The linter holds itself to the determinism standard it enforces: two
+//! scans of the same tree must render byte-identical reports, in both
+//! human and `--json` form.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+#[test]
+fn double_scan_is_byte_identical() {
+    let a = thrifty_lint::scan_workspace(workspace_root()).expect("first scan");
+    let b = thrifty_lint::scan_workspace(workspace_root()).expect("second scan");
+    assert_eq!(a.render_text(), b.render_text(), "text reports diverged");
+    assert_eq!(a.render_json(), b.render_json(), "json reports diverged");
+}
+
+#[test]
+fn findings_are_sorted_and_timestamps_absent() {
+    let report = thrifty_lint::scan_workspace(workspace_root()).expect("scan");
+    let keys: Vec<_> = report
+        .findings
+        .iter()
+        .map(|f| (f.path.clone(), f.line, f.rule.clone(), f.message.clone()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "report order must be the sort order");
+    let json = report.render_json();
+    for banned in ["time", "date", "duration"] {
+        assert!(
+            !json.contains(&format!("\"{banned}")),
+            "json report must not embed wall-clock fields"
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! One known-bad fixture per rule: each must produce exactly the expected
+//! `(rule, line)` findings when linted under its virtual workspace path,
+//! and nothing when linted out of scope.
+
+use thrifty_lint::scan_source;
+
+fn fixture(name: &str) -> String {
+    let path = format!(
+        "{}/tests/fixtures/{name}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lint `name` as if it lived at `virtual_path`; assert the exact
+/// `(rule, line)` multiset.
+fn check(name: &str, virtual_path: &str, expected: &[(&str, u32)]) {
+    let src = fixture(name);
+    let mut got: Vec<(String, u32)> = scan_source(virtual_path, &src)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect();
+    got.sort();
+    let mut want: Vec<(String, u32)> = expected
+        .iter()
+        .map(|&(r, l)| (r.to_string(), l))
+        .collect();
+    want.sort();
+    assert_eq!(got, want, "fixture {name} linted as {virtual_path}");
+}
+
+#[test]
+fn det_wall_clock_fires_at_the_clock_read() {
+    check(
+        "det_wall_clock.rs",
+        "crates/sim/src/fixture.rs",
+        &[("det-wall-clock", 4)],
+    );
+}
+
+#[test]
+fn det_thread_rng_fires_at_the_ambient_rng() {
+    check(
+        "det_thread_rng.rs",
+        "crates/queueing/src/fixture.rs",
+        &[("det-thread-rng", 4)],
+    );
+}
+
+#[test]
+fn det_hash_collections_fires_at_the_type() {
+    check(
+        "det_hash_collections.rs",
+        "crates/telemetry/src/fixture.rs",
+        &[("det-hash-collections", 3)],
+    );
+}
+
+#[test]
+fn panic_unwrap_fires_on_expect_and_unwrap() {
+    check(
+        "panic_unwrap.rs",
+        "crates/net/src/wire.rs",
+        &[("panic-unwrap", 4), ("panic-unwrap", 4)],
+    );
+}
+
+#[test]
+fn panic_macro_fires_on_panic_bang() {
+    check(
+        "panic_macro.rs",
+        "crates/video/src/nal.rs",
+        &[("panic-macro", 7)],
+    );
+}
+
+#[test]
+fn panic_slice_index_fires_per_literal_index() {
+    check(
+        "panic_slice_index.rs",
+        "crates/video/src/bitstream.rs",
+        &[("panic-slice-index", 4), ("panic-slice-index", 4)],
+    );
+}
+
+#[test]
+fn num_float_eq_fires_outside_tests_anywhere() {
+    check(
+        "num_float_eq.rs",
+        "crates/analytic/src/fixture.rs",
+        &[("num-float-eq", 4)],
+    );
+}
+
+#[test]
+fn num_as_truncate_fires_in_wire_codecs() {
+    check(
+        "num_as_truncate.rs",
+        "crates/net/src/wire.rs",
+        &[("num-as-truncate", 4)],
+    );
+}
+
+#[test]
+fn num_debug_macro_fires_everywhere() {
+    check(
+        "num_debug_macro.rs",
+        "src/fixture.rs",
+        &[("num-debug-macro", 4), ("num-debug-macro", 5)],
+    );
+}
+
+#[test]
+fn malformed_waiver_is_reported_and_suppresses_nothing() {
+    check(
+        "waiver_malformed.rs",
+        "src/fixture.rs",
+        &[("waiver-malformed", 4), ("num-float-eq", 5)],
+    );
+}
+
+#[test]
+fn unknown_rule_waiver_is_reported() {
+    check(
+        "waiver_unknown_rule.rs",
+        "src/fixture.rs",
+        &[("waiver-unknown-rule", 4)],
+    );
+}
+
+#[test]
+fn unused_waiver_is_reported() {
+    check(
+        "waiver_unused.rs",
+        "src/fixture.rs",
+        &[("waiver-unused", 4)],
+    );
+}
+
+// ---- scoping: the same bad code is legal outside the rule's scope -------
+
+#[test]
+fn det_rules_are_silent_outside_deterministic_crates() {
+    check("det_wall_clock.rs", "crates/crypto/src/fixture.rs", &[]);
+    check("det_thread_rng.rs", "crates/video/src/fixture.rs", &[]);
+    check("det_hash_collections.rs", "src/fixture.rs", &[]);
+}
+
+#[test]
+fn panic_rules_are_silent_outside_wire_files() {
+    check("panic_unwrap.rs", "crates/net/src/dcf.rs", &[]);
+    check("panic_macro.rs", "crates/video/src/encoder.rs", &[]);
+    check("panic_slice_index.rs", "crates/core/src/fixture.rs", &[]);
+    check("num_as_truncate.rs", "crates/analytic/src/fixture.rs", &[]);
+}
+
+#[test]
+fn scoped_rules_are_silent_in_test_directories() {
+    check("det_wall_clock.rs", "crates/sim/tests/fixture.rs", &[]);
+    check("num_float_eq.rs", "crates/analytic/tests/fixture.rs", &[]);
+}
+
+#[test]
+fn debug_macros_fire_even_in_test_directories() {
+    check(
+        "num_debug_macro.rs",
+        "crates/sim/tests/fixture.rs",
+        &[("num-debug-macro", 4), ("num-debug-macro", 5)],
+    );
+}

@@ -1,0 +1,7 @@
+//! Fixture: hash-ordered collection inside a deterministic crate.
+
+type Tally = std::collections::HashMap<String, u32>;
+
+pub fn fresh() -> Tally {
+    Tally::new()
+}

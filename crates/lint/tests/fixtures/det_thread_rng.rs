@@ -1,0 +1,6 @@
+//! Fixture: ambient RNG inside a deterministic crate.
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen_range(&mut rng, 0.0..1.0)
+}

@@ -1,0 +1,6 @@
+//! Fixture: wall-clock read inside a deterministic crate.
+
+pub fn elapsed_ms(start: std::time::Instant) -> u128 {
+    let now = std::time::Instant::now();
+    now.duration_since(start).as_millis()
+}

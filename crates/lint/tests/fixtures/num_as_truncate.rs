@@ -1,0 +1,5 @@
+//! Fixture: truncating cast in a wire codec.
+
+pub fn emit_len(len: usize) -> u16 {
+    len as u16
+}

@@ -1,0 +1,6 @@
+//! Fixture: leftover debug macros (flagged everywhere, tests included).
+
+pub fn decide(x: u32) -> u32 {
+    dbg!(x);
+    todo!()
+}

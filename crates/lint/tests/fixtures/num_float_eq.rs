@@ -1,0 +1,5 @@
+//! Fixture: bare float-literal equality outside tests.
+
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}

@@ -1,0 +1,9 @@
+//! Fixture: panic on hostile input in a NAL parser.
+
+pub fn classify(ty: u8) -> &'static str {
+    match ty {
+        5 => "idr",
+        1 => "non-idr",
+        _ => panic!("unknown NAL type"),
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: literal slice indexing in a bitstream parser.
+
+pub fn first_word(b: &[u8]) -> u16 {
+    (u16::from(b[0]) << 8) | u16::from(b[1])
+}

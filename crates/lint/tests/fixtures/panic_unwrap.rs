@@ -1,0 +1,6 @@
+//! Fixture: unwrap/expect in a wire parser.
+
+pub fn parse_len(b: &[u8]) -> u16 {
+    let pair: [u8; 2] = b.get(0..2).expect("short").try_into().unwrap();
+    u16::from_be_bytes(pair)
+}

@@ -1,0 +1,6 @@
+//! Fixture: waiver with an empty reason — rejected, suppresses nothing.
+
+pub fn is_unit(x: f64) -> bool {
+    // lint:allow(num-float-eq):
+    x == 1.0
+}

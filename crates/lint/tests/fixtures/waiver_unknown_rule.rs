@@ -1,0 +1,6 @@
+//! Fixture: waiver naming a rule the linter does not define.
+
+pub fn half(x: u64) -> u64 {
+    // lint:allow(no-such-rule): the rule name has a typo
+    x / 2
+}

@@ -1,0 +1,6 @@
+//! Fixture: well-formed waiver that suppresses nothing.
+
+pub fn half(x: u64) -> u64 {
+    // lint:allow(num-float-eq): there is no float comparison here
+    x / 2
+}

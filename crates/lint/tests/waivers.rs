@@ -1,0 +1,169 @@
+//! Waiver semantics: placement (trailing vs standalone), multi-rule lists,
+//! and the meta-rules guarding the waiver channel itself.
+
+use thrifty_lint::scan_source;
+
+fn rules_at(path: &str, src: &str) -> Vec<(String, u32)> {
+    let mut v: Vec<(String, u32)> = scan_source(path, src)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn trailing_waiver_covers_its_own_line() {
+    let src = "\
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0 // lint:allow(num-float-eq): exact sentinel set by construction
+}
+";
+    assert_eq!(rules_at("src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn standalone_waiver_covers_the_next_code_line() {
+    let src = "\
+pub fn is_unit(x: f64) -> bool {
+    // lint:allow(num-float-eq): exact sentinel set by construction
+    x == 1.0
+}
+";
+    assert_eq!(rules_at("src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn standalone_waiver_skips_interleaved_comments() {
+    let src = "\
+pub fn is_unit(x: f64) -> bool {
+    // lint:allow(num-float-eq): exact sentinel set by construction
+    // (the value is normalised upstream)
+    x == 1.0
+}
+";
+    assert_eq!(rules_at("src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn waiver_does_not_leak_past_its_target_line() {
+    let src = "\
+pub fn both(x: f64, y: f64) -> bool {
+    // lint:allow(num-float-eq): exact sentinel set by construction
+    let a = x == 1.0;
+    let b = y == 2.0;
+    a && b
+}
+";
+    assert_eq!(
+        rules_at("src/fixture.rs", src),
+        vec![("num-float-eq".to_string(), 4)]
+    );
+}
+
+#[test]
+fn one_waiver_may_name_several_rules() {
+    let src = "\
+pub fn len_eq(b: &[u8], x: f64) -> bool {
+    // lint:allow(panic-slice-index, num-float-eq): fixture exercising a two-rule waiver
+    f64::from(b[0]) == x
+}
+";
+    assert_eq!(rules_at("crates/net/src/wire.rs", src), vec![]);
+}
+
+#[test]
+fn waiver_for_the_wrong_rule_suppresses_nothing() {
+    let src = "\
+pub fn is_unit(x: f64) -> bool {
+    // lint:allow(det-wall-clock): wrong rule for this violation
+    x == 1.0
+}
+";
+    assert_eq!(
+        rules_at("src/fixture.rs", src),
+        vec![
+            ("num-float-eq".to_string(), 3),
+            ("waiver-unused".to_string(), 2),
+        ]
+    );
+}
+
+#[test]
+fn block_comment_waivers_are_malformed() {
+    let src = "\
+pub fn is_unit(x: f64) -> bool {
+    /* lint:allow(num-float-eq): block comments are not auditable waivers */
+    x == 1.0
+}
+";
+    assert_eq!(
+        rules_at("src/fixture.rs", src),
+        vec![
+            ("num-float-eq".to_string(), 3),
+            ("waiver-malformed".to_string(), 2),
+        ]
+    );
+}
+
+#[test]
+fn waiver_without_rule_list_is_malformed() {
+    let src = "\
+pub fn half(x: u64) -> u64 {
+    // lint:allow everything please
+    x / 2
+}
+";
+    assert_eq!(
+        rules_at("src/fixture.rs", src),
+        vec![("waiver-malformed".to_string(), 2)]
+    );
+}
+
+#[test]
+fn prose_mention_of_the_marker_is_not_a_waiver() {
+    let src = "\
+//! Waive findings with a `lint:allow(<rule>): <reason>` comment.
+
+pub fn half(x: u64) -> u64 {
+    x / 2
+}
+";
+    assert_eq!(rules_at("src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn waiver_meta_rules_cannot_be_waived_away() {
+    // A waiver naming an unknown rule is itself flagged, and a second
+    // waiver targeting that line does not silence the meta finding.
+    let src = "\
+pub fn half(x: u64) -> u64 {
+    // lint:allow(waiver-unknown-rule): trying to pre-silence the meta rule
+    // lint:allow(no-such-rule): the rule name has a typo
+    x / 2
+}
+";
+    let got = rules_at("src/fixture.rs", src);
+    assert!(
+        got.iter().any(|(r, l)| r == "waiver-unknown-rule" && *l == 3),
+        "unknown-rule meta finding must survive: {got:?}"
+    );
+}
+
+#[test]
+fn code_inside_cfg_test_modules_is_exempt_from_scoped_rules() {
+    let src = "\
+pub fn shipped(x: f64) -> f64 {
+    x * 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_zero_is_fine_here() {
+        assert!(super::shipped(0.0) == 0.0);
+    }
+}
+";
+    assert_eq!(rules_at("crates/sim/src/fixture.rs", src), vec![]);
+}

@@ -77,7 +77,7 @@ impl RtpHeader {
     pub fn emit(&self, payload: &[u8]) -> Vec<u8> {
         let mut buf = BytesMut::with_capacity(RTP_HEADER_LEN + payload.len());
         buf.put_u8(2 << 6); // V=2, P=0, X=0, CC=0
-        buf.put_u8(((self.marker as u8) << 7) | (self.payload_type & 0x7f));
+        buf.put_u8((u8::from(self.marker) << 7) | (self.payload_type & 0x7f));
         buf.put_u16(self.sequence);
         buf.put_u32(self.timestamp);
         buf.put_u32(self.ssrc);
@@ -102,7 +102,7 @@ impl<T: AsRef<[u8]>> RtpPacket<T> {
                 got: b.len(),
             });
         }
-        let version = b[0] >> 6;
+        let version = b.first().map_or(0, |&v| v >> 6);
         if version != 2 {
             return Err(WireError::BadVersion(version));
         }
@@ -112,12 +112,24 @@ impl<T: AsRef<[u8]>> RtpPacket<T> {
     /// Decoded header fields.
     pub fn header(&self) -> RtpHeader {
         let b = self.buffer.as_ref();
-        RtpHeader {
-            marker: b[1] & 0x80 != 0,
-            payload_type: b[1] & 0x7f,
-            sequence: u16::from_be_bytes([b[2], b[3]]),
-            timestamp: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
-            ssrc: u32::from_be_bytes([b[8], b[9], b[10], b[11]]),
+        // `parse` validated `len >= RTP_HEADER_LEN` at construction, so the
+        // fixed prefix always destructures; the zeroed fallback is dead code
+        // kept so this accessor can never panic on a corrupted invariant.
+        match b.split_first_chunk::<RTP_HEADER_LEN>() {
+            Some((&[_, m, s0, s1, t0, t1, t2, t3, c0, c1, c2, c3], _)) => RtpHeader {
+                marker: m & 0x80 != 0,
+                payload_type: m & 0x7f,
+                sequence: u16::from_be_bytes([s0, s1]),
+                timestamp: u32::from_be_bytes([t0, t1, t2, t3]),
+                ssrc: u32::from_be_bytes([c0, c1, c2, c3]),
+            },
+            None => RtpHeader {
+                marker: false,
+                payload_type: 0,
+                sequence: 0,
+                timestamp: 0,
+                ssrc: 0,
+            },
         }
     }
 
@@ -140,11 +152,14 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> RtpPacket<T> {
 
     /// Set or clear the marker (encryption) bit in place.
     pub fn set_marker(&mut self, marker: bool) {
-        let b = self.buffer.as_mut();
-        if marker {
-            b[1] |= 0x80;
-        } else {
-            b[1] &= 0x7f;
+        // `parse` validated the length, so byte 1 always exists; `get_mut`
+        // keeps the accessor total without a bounds-check panic path.
+        if let Some(byte) = self.buffer.as_mut().get_mut(1) {
+            if marker {
+                *byte |= 0x80;
+            } else {
+                *byte &= 0x7f;
+            }
         }
     }
 }
@@ -167,7 +182,10 @@ impl UdpHeader {
         let mut buf = BytesMut::with_capacity(8 + payload.len());
         buf.put_u16(self.src_port);
         buf.put_u16(self.dst_port);
-        buf.put_u16(8 + payload.len() as u16);
+        // RFC 768 carries a 16-bit length; our MTU-segmented payloads sit
+        // far below the ceiling, and an oversized one saturates instead of
+        // silently wrapping around.
+        buf.put_u16(u16::try_from(8 + payload.len()).unwrap_or(u16::MAX));
         buf.put_u16(0);
         buf.put_slice(payload);
         buf.to_vec()
@@ -175,13 +193,13 @@ impl UdpHeader {
 
     /// Parse a datagram into header and payload.
     pub fn parse(buffer: &[u8]) -> Result<(UdpHeader, &[u8]), WireError> {
-        if buffer.len() < 8 {
+        let Some((&[s0, s1, d0, d1, l0, l1, _, _], _)) = buffer.split_first_chunk::<8>() else {
             return Err(WireError::Truncated {
                 need: 8,
                 got: buffer.len(),
             });
-        }
-        let length = u16::from_be_bytes([buffer[4], buffer[5]]);
+        };
+        let length = u16::from_be_bytes([l0, l1]);
         // A length below the header's own 8 bytes would make the payload
         // slice `[8..length]` inverted — reject it instead of panicking on
         // a hostile datagram.
@@ -196,8 +214,8 @@ impl UdpHeader {
         }
         Ok((
             UdpHeader {
-                src_port: u16::from_be_bytes([buffer[0], buffer[1]]),
-                dst_port: u16::from_be_bytes([buffer[2], buffer[3]]),
+                src_port: u16::from_be_bytes([s0, s1]),
+                dst_port: u16::from_be_bytes([d0, d1]),
                 length,
             },
             &buffer[8..length as usize],
@@ -233,11 +251,10 @@ impl FragmentHeader {
 
     /// Serialise to the 8-byte wire form.
     pub fn emit(&self) -> [u8; FRAG_HEADER_LEN] {
-        let mut h = [0u8; FRAG_HEADER_LEN];
-        h[0..4].copy_from_slice(&self.frame.to_be_bytes());
-        h[4..6].copy_from_slice(&self.frag.to_be_bytes());
-        h[6..8].copy_from_slice(&self.total.to_be_bytes());
-        h
+        let [f0, f1, f2, f3] = self.frame.to_be_bytes();
+        let [g0, g1] = self.frag.to_be_bytes();
+        let [t0, t1] = self.total.to_be_bytes();
+        [f0, f1, f2, f3, g0, g1, t0, t1]
     }
 
     /// Parse a header off the front of `buffer`, returning it and the
@@ -245,16 +262,18 @@ impl FragmentHeader {
     /// (`total == 0` or `frag >= total`) so a corrupted fragment becomes
     /// an erasure upstream instead of poisoning reassembly state.
     pub fn parse(buffer: &[u8]) -> Result<(FragmentHeader, &[u8]), WireError> {
-        if buffer.len() < FRAG_HEADER_LEN {
+        let Some((&[f0, f1, f2, f3, g0, g1, t0, t1], rest)) =
+            buffer.split_first_chunk::<FRAG_HEADER_LEN>()
+        else {
             return Err(WireError::Truncated {
                 need: FRAG_HEADER_LEN,
                 got: buffer.len(),
             });
-        }
+        };
         let header = FragmentHeader {
-            frame: u32::from_be_bytes([buffer[0], buffer[1], buffer[2], buffer[3]]),
-            frag: u16::from_be_bytes([buffer[4], buffer[5]]),
-            total: u16::from_be_bytes([buffer[6], buffer[7]]),
+            frame: u32::from_be_bytes([f0, f1, f2, f3]),
+            frag: u16::from_be_bytes([g0, g1]),
+            total: u16::from_be_bytes([t0, t1]),
         };
         if header.total == 0 || header.frag >= header.total {
             return Err(WireError::BadFragment {
@@ -262,7 +281,7 @@ impl FragmentHeader {
                 total: header.total,
             });
         }
-        Ok((header, &buffer[FRAG_HEADER_LEN..]))
+        Ok((header, rest))
     }
 }
 

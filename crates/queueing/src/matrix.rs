@@ -75,6 +75,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
+                // lint:allow(num-float-eq): exact-zero sparsity skip; a near-zero entry must still multiply through
                 if a == 0.0 {
                     continue;
                 }
@@ -120,6 +121,7 @@ impl Matrix {
         assert_eq!(v.len(), self.rows, "vector length mismatch");
         let mut out = vec![0.0; self.cols];
         for (i, &vi) in v.iter().enumerate() {
+            // lint:allow(num-float-eq): exact-zero sparsity skip; a near-zero entry must still multiply through
             if vi == 0.0 {
                 continue;
             }
@@ -175,6 +177,7 @@ impl Matrix {
             // Eliminate below.
             for r in (col + 1)..n {
                 let factor = a[(r, col)] / a[(col, col)];
+                // lint:allow(num-float-eq): exact-zero elimination skip; a tiny factor still changes the row
                 if factor == 0.0 {
                     continue;
                 }

@@ -132,6 +132,7 @@ impl ServiceComponent {
                 let mut pick = rng.gen_range(0.0..total);
                 for &(w, m, s) in atoms {
                     if pick < w {
+                        // lint:allow(num-float-eq): sigma exactly 0.0 encodes a point-mass atom, set by construction
                         if s == 0.0 {
                             return m.max(0.0);
                         }

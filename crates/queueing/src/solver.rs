@@ -37,6 +37,12 @@ pub enum SolveError {
         /// Residual after the final iteration.
         residual: f64,
     },
+    /// A linear system the solution rests on was singular — a degenerate
+    /// (reducible or ill-conditioned) arrival process.
+    Singular {
+        /// Which system failed, for diagnostics.
+        context: &'static str,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -45,6 +51,9 @@ impl std::fmt::Display for SolveError {
             SolveError::Unstable { rho } => write!(f, "queue is unstable: rho = {rho:.4} >= 1"),
             SolveError::NoConvergence { residual } => {
                 write!(f, "G fixed point did not converge (residual {residual:.3e})")
+            }
+            SolveError::Singular { context } => {
+                write!(f, "singular linear system: {context}")
             }
         }
     }
@@ -127,9 +136,9 @@ impl MmppG1 {
         // Stationary vector of the (stochastic) matrix G: solve gG = g,
         // ge = 1 via a bordered linear system.
         let a = Matrix::from_rows(&[&[g[(0, 0)] - 1.0, g[(1, 0)]], &[1.0, 1.0]]);
-        let gv = a
-            .solve(&[0.0, 1.0])
-            .expect("stationary vector of G must exist");
+        let gv = a.solve(&[0.0, 1.0]).ok_or(SolveError::Singular {
+            context: "stationary vector of G (bordered system)",
+        })?;
         let g_stationary = [gv[0], gv[1]];
 
         // --- Step 2: series expansion of the workload transform ---------
@@ -142,9 +151,9 @@ impl MmppG1 {
         // (Q + eπ): rank-one correction making the generator invertible.
         let e_pi = Matrix::from_rows(&[&[pi[0], pi[1]], &[pi[0], pi[1]]]);
         let q_epi = q.add(&e_pi);
-        let q_epi_inv = q_epi
-            .inverse()
-            .expect("(Q + eπ) is nonsingular for an irreducible chain");
+        let q_epi_inv = q_epi.inverse().ok_or(SolveError::Singular {
+            context: "(Q + eπ) group-inverse correction",
+        })?;
         let a_vec = q_epi_inv.vec_mul(&u); // a = u·(Q+eπ)⁻¹  (row-vector form)
         // c₁ from the second-order solvability condition:
         // c₁ (1−ρ) = h₁·(aΛe) − (h₂/2)·λ̄

@@ -63,10 +63,22 @@ impl MmppN {
     }
 
     /// Stationary phase distribution π (left null vector of Q, normalised).
+    ///
+    /// # Panics
+    /// If the generator is reducible (no unique π); use
+    /// [`MmppN::try_equilibrium`] for a fallible variant.
     pub fn equilibrium(&self) -> Vec<f64> {
+        self.try_equilibrium()
+            .expect("irreducible generator has a unique π")
+    }
+
+    /// Stationary phase distribution π, or [`SolveError::Singular`] when the
+    /// generator is reducible and the bordered system πQ = 0, πe = 1 has no
+    /// unique solution.
+    pub fn try_equilibrium(&self) -> Result<Vec<f64>, SolveError> {
         let n = self.phases();
         if n == 1 {
-            return vec![1.0];
+            return Ok(vec![1.0]);
         }
         // Solve πQ = 0, πe = 1: transpose and replace the last equation.
         let mut a = Matrix::zeros(n, n);
@@ -80,7 +92,9 @@ impl MmppN {
         }
         let mut b = vec![0.0; n];
         b[n - 1] = 1.0;
-        a.solve(&b).expect("irreducible generator has a unique π")
+        a.solve(&b).ok_or(SolveError::Singular {
+            context: "equilibrium of a reducible generator",
+        })
     }
 
     /// Long-run mean arrival rate λ̄ = πλ.
@@ -181,14 +195,18 @@ impl MmppNG1 {
         let n = self.mmpp.phases();
         let h1 = self.service.mean();
         let h2 = self.service.moment2();
-        let lambda_bar = self.mmpp.mean_rate();
+        let pi = self.mmpp.try_equilibrium()?;
+        let lambda_bar: f64 = pi
+            .iter()
+            .zip(self.mmpp.rates.iter())
+            .map(|(p, l)| p * l)
+            .sum();
         let rho = lambda_bar * h1;
         if rho >= 1.0 {
             return Err(SolveError::Unstable { rho });
         }
         let q = self.mmpp.generator.clone();
         let lam = self.mmpp.rate_matrix();
-        let pi = self.mmpp.equilibrium();
 
         // G fixed point.
         let mut g = Matrix::zeros(n, n);
@@ -221,7 +239,9 @@ impl MmppNG1 {
             }
             let mut b = vec![0.0; n];
             b[n - 1] = 1.0;
-            a.solve(&b).expect("stochastic G has a stationary vector")
+            a.solve(&b).ok_or(SolveError::Singular {
+                context: "stationary vector of G (bordered system)",
+            })?
         };
 
         // Series expansion: u = (1−ρ)g − π + h₁πΛ; a = u(Q + eπ)⁻¹.
@@ -239,10 +259,9 @@ impl MmppNG1 {
                 e_pi[(i, j)] = pi[j];
             }
         }
-        let q_epi_inv = q
-            .add(&e_pi)
-            .inverse()
-            .expect("(Q + eπ) is nonsingular for an irreducible chain");
+        let q_epi_inv = q.add(&e_pi).inverse().ok_or(SolveError::Singular {
+            context: "(Q + eπ) group-inverse correction",
+        })?;
         let a_vec = q_epi_inv.vec_mul(&u);
         let a_lam_e: f64 = a_vec
             .iter()
@@ -377,6 +396,24 @@ mod tests {
     #[should_panic(expected = "rows must sum to zero")]
     fn invalid_generator_rejected() {
         MmppN::new(Matrix::from_rows(&[&[-1.0, 2.0], &[1.0, -1.0]]), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn reducible_generator_reports_singular() {
+        // Two absorbing phases: rows sum to zero, but π is not unique, so the
+        // bordered equilibrium system is singular and solve() must say so
+        // instead of panicking.
+        let mmpp = MmppN::new(Matrix::zeros(2, 2), vec![10.0, 10.0]);
+        assert!(matches!(
+            mmpp.try_equilibrium(),
+            Err(SolveError::Singular { .. })
+        ));
+        match MmppNG1::new(mmpp, ServiceDistribution::point(0.001)).solve() {
+            Err(SolveError::Singular { context }) => {
+                assert!(context.contains("reducible"), "context: {context}");
+            }
+            other => panic!("expected Singular, got {other:?}"),
+        }
     }
 
     #[test]

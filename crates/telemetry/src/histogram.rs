@@ -147,6 +147,7 @@ impl HistogramSnapshot {
     /// guaranteed enclosure of the true quantile — not an interpolation.
     pub fn quantile_bounds(&self, q: f64) -> Option<(f64, f64)> {
         let total = self.count();
+        // lint:allow(num-float-eq): q == 0.0 is an exact caller-passed sentinel (the 0th quantile has no enclosing bucket)
         if total == 0 || !(0.0..=1.0).contains(&q) || q == 0.0 {
             return None;
         }

@@ -27,8 +27,11 @@ impl BitWriter {
             self.bytes.push(0);
         }
         if bit {
-            let last = self.bytes.last_mut().expect("pushed above");
-            *last |= 1 << (7 - self.bit_pos);
+            // The byte always exists: either pushed just above or carried
+            // over from a previous call with `bit_pos > 0`.
+            if let Some(last) = self.bytes.last_mut() {
+                *last |= 1 << (7 - self.bit_pos);
+            }
         }
         self.bit_pos = (self.bit_pos + 1) % 8;
     }
@@ -45,7 +48,7 @@ impl BitWriter {
     pub fn put_ue(&mut self, value: u32) {
         // code_num = value; write (leading zeros) then (value+1) in binary.
         let code = value as u64 + 1;
-        let bits = 64 - code.leading_zeros() as u8; // length of code
+        let bits: u32 = 64 - code.leading_zeros(); // length of code
         for _ in 0..bits - 1 {
             self.put_bit(false);
         }
@@ -232,8 +235,10 @@ impl SequenceParameterSet {
     /// Parse an RBSP payload written by [`to_rbsp`](Self::to_rbsp).
     pub fn from_rbsp(rbsp: &[u8]) -> Result<Self, BitstreamError> {
         let mut r = BitReader::new(rbsp);
+        // lint:allow(num-as-truncate): bits(8) yields at most 0xFF by construction
         let profile_idc = r.bits(8)? as u8;
         let _flags = r.bits(8)?;
+        // lint:allow(num-as-truncate): bits(8) yields at most 0xFF by construction
         let level_idc = r.bits(8)? as u8;
         let sps_id = r.ue()?;
         let log2_max_frame_num_minus4 = r.ue()?;

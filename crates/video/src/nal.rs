@@ -87,7 +87,9 @@ impl NalUnit {
         let payload: Vec<u8> = (0..bytes)
             .map(|i| match i % 7 {
                 0 | 1 => 0x00,
+                // lint:allow(num-as-truncate): value < 4 by the `% 4` bound
                 2 => (index % 4) as u8, // 00 00 00..03 sequences need escaping
+                // lint:allow(num-as-truncate): value < 251 by the `% 251` bound
                 _ => ((i * 31 + index * 7) % 251) as u8,
             })
             .collect();

@@ -7,6 +7,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> thrifty-lint (workspace invariant checker; double --json run must be byte-identical)"
+lint_tmp="$(mktemp -d)"
+trap 'rm -rf "$lint_tmp"' EXIT
+./target/release/thrifty-lint
+./target/release/thrifty-lint --json > "$lint_tmp/lint_a.json"
+./target/release/thrifty-lint --json > "$lint_tmp/lint_b.json"
+cmp "$lint_tmp/lint_a.json" "$lint_tmp/lint_b.json"
+
 echo "==> cargo test -q"
 cargo test -q --workspace
 
@@ -18,7 +26,7 @@ cargo bench -p thrifty-bench -- --test
 
 echo "==> reproduce determinism (metered double run must be byte-identical)"
 tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
+trap 'rm -rf "$tmp" "$lint_tmp"' EXIT
 ./target/release/reproduce table2 fig12 --no-bench-json \
   --metrics "$tmp/metrics_a.json" > "$tmp/out_a.txt"
 ./target/release/reproduce table2 fig12 --no-bench-json \

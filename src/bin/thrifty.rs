@@ -34,6 +34,7 @@ COMMANDS:
     advise       recommend the cheapest policy that blinds an eavesdropper
     predict      analytic delay + distortion for one policy
     experiment   run the simulated testbed for one policy
+    lint         run the workspace invariant checker (thrifty-lint)
     help         print this text
 
 COMMON OPTIONS (with defaults):
@@ -49,6 +50,7 @@ COMMAND OPTIONS:
                  --tcp                          (adds TCP retransmission latency)
     experiment:  --mode ... (as above) [I]
                  --trials <n> [5]  --frames <n> [150]  --tcp
+    lint:        --json  --root <dir>  --list-rules
 ";
 
 struct Args {
@@ -231,6 +233,11 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `lint` has its own flag grammar (--json is a switch, --root takes a
+    // value); hand the raw arguments straight to the checker.
+    if command == "lint" {
+        return ExitCode::from(thrifty_lint::run_cli(&argv[1..]));
+    }
     let args = match Args::parse(&argv[1..]) {
         Ok(a) => a,
         Err(e) => {

@@ -1,2 +1,4 @@
 //! Root package: see `thrifty` for the public API.
+#![forbid(unsafe_code)]
+
 pub use thrifty::*;
