@@ -90,6 +90,24 @@ macro_rules! range_strategy {
 
 range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
+macro_rules! tuple_strategy {
+    ($($s:ident => $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                // Left-to-right field order, matching upstream proptest.
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A => 0, B => 1);
+tuple_strategy!(A => 0, B => 1, C => 2);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+
 /// Types with a canonical whole-domain strategy (`any::<T>()`).
 pub trait Arbitrary: Sized {
     /// Draw one arbitrary value of the type.

@@ -31,7 +31,10 @@ pub mod throughput;
 pub use thrifty_fleet::parallel;
 
 pub use faults::{fault_matrix, verify_fault_matrix, ChannelKind, FaultClass, TransportKind};
-pub use fleet::{fleet_sweep, verify_fleet_sweep, FLEET_SIZES};
+pub use fleet::{
+    bench_fleet_json, fleet_sweep, scale_sweep, verify_fleet_sweep, verify_scale_sweep,
+    ScaleBench, FLEET_SIZES, SCALE_SIZES, SCALE_SIZE_FULL,
+};
 pub use golden::{diff_against_golden, golden_effort, golden_figures, parse_table_json};
 pub use parallel::{par_flat_map, par_map};
 pub use throughput::{

@@ -1,0 +1,42 @@
+//! # thrifty-des
+//!
+//! The deterministic discrete-event scheduler core the simulation and fleet
+//! crates run on. A single [`Calendar`] (binary min-heap) orders pending
+//! events by the total order `(sim time, flow id, seq)` — ties between
+//! flows break in **flow-id order** and ties within a flow break in **seq
+//! order**, so the dispatch sequence is a pure function of the scheduled
+//! key set and never of heap internals, thread timing, or insertion
+//! hazards. Exact duplicates of a key (same time, flow *and* seq) dispatch
+//! in insertion (FIFO) order via a monotonic tick, closing the last
+//! nondeterminism hole a binary heap leaves open.
+//!
+//! Flows are not loops that own the clock; they are lightweight state
+//! machines implementing [`FlowMachine::on_event`]. The [`Executor`] pops
+//! the calendar until it drains, dispatching each event to its machine.
+//! Handlers schedule follow-up events through [`Schedule`]; an event may
+//! never be scheduled before the event being dispatched (the executor
+//! enforces the no-time-travel invariant), which keeps the dispatch order
+//! causal and, with the key order above, **bit-reproducible**: the same
+//! machines fed the same seeds produce the same dispatch sequence on every
+//! run and on every shard layout.
+//!
+//! Per-event cost is `O(log n)` in the number of pending events — one heap
+//! push and one pop — which is what lets one process sustain fleets in the
+//! 10^5–10^6 flow range (see `thrifty-fleet`'s scale path and
+//! `BENCH_fleet.json`).
+//!
+//! Determinism rules of the crate (enforced by `thrifty-lint`'s
+//! determinism tier): no wall clock, no ambient RNG, no hash-ordered
+//! collections anywhere in event state — the calendar stores events in a
+//! `Vec`-backed heap and machines in a dense `Vec` indexed by flow id.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod executor;
+pub mod time;
+
+pub use calendar::{Calendar, EventKey};
+pub use executor::{Executor, FlowMachine, Schedule};
+pub use time::SimTime;

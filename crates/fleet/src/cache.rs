@@ -14,17 +14,21 @@
 //!   same scenario, used as a cross-solver consistency gate.
 //!
 //! Every lookup increments either [`SolveCache::HITS`] or
-//! [`SolveCache::MISSES`] in the caller's `MetricsRegistry`. Computation
-//! happens **under the map lock**, so concurrent first lookups of a key
-//! serialise: exactly one miss per distinct key, no matter how many shard
-//! threads race — which keeps the counters (and therefore the metered
-//! snapshot) bit-reproducible.
+//! [`SolveCache::MISSES`] in the caller's `MetricsRegistry`; FIFO
+//! evictions past the capacity bound increment [`SolveCache::EVICTIONS`].
+//! Computation happens **under the map lock**, so concurrent first lookups
+//! of a key serialise: exactly one miss per distinct key, no matter how
+//! many shard threads race — which keeps the counters (and therefore the
+//! metered snapshot) bit-reproducible. Because solves are pure, the
+//! capacity bound can change *when* work happens but never *what* any
+//! caller gets back — figure values are capacity-invariant by
+//! construction, and the engine tests pin it.
 //!
 //! [`DcfModel::try_solve`]: thrifty_net::dcf::DcfModel::try_solve
 //! [`DelayModel::predict`]: thrifty_analytic::delay::DelayModel::predict
 //! [`MmppNG1::solve`]: thrifty_queueing::solver_n::MmppNG1::solve
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 
 use thrifty_analytic::delay::{DelayModel, DelayPrediction};
@@ -88,14 +92,51 @@ fn queue_key(kind: &str, params: &ScenarioParams, stations: usize, policy: Polic
     )
 }
 
+/// One bounded memo family: the map plus a FIFO of key insertion order.
+///
+/// Eviction is strictly first-in-first-out: when an insert pushes the map
+/// past `capacity`, the **oldest inserted key** leaves. Under the
+/// serialised compute-under-lock discipline the insertion order — and with
+/// it the eviction sequence — is a pure function of the lookup sequence,
+/// so a bounded cache stays exactly as reproducible as an unbounded one.
+struct BoundedMemo<T> {
+    map: BTreeMap<String, T>,
+    order: VecDeque<String>,
+}
+
+impl<T> Default for BoundedMemo<T> {
+    fn default() -> Self {
+        BoundedMemo {
+            map: BTreeMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+}
+
 /// A thread-safe memo table for the three solve families the fleet engine
 /// consults per flow. One cache is scoped to one cell (one registry), so
 /// the hit/miss counters it reports are deterministic.
-#[derive(Default)]
+///
+/// The table is **bounded**: each family holds at most
+/// [`capacity`](Self::capacity) entries (default
+/// [`DEFAULT_CAPACITY`](Self::DEFAULT_CAPACITY)), evicted FIFO. Solves are
+/// pure functions of their key, so an eviction can never change a value
+/// any caller observes — a re-query after eviction recomputes the
+/// identical bits and costs one extra [`MISSES`](Self::MISSES) (plus one
+/// [`EVICTIONS`](Self::EVICTIONS) at eviction time). The engine's
+/// regression tests pin that a pathologically small bound leaves every
+/// figure value bit-identical.
 pub struct SolveCache {
-    dcf: Mutex<BTreeMap<String, DcfSolution>>,
-    delay: Mutex<BTreeMap<String, DelayPrediction>>,
-    queue_n: Mutex<BTreeMap<String, QueueSolutionN>>,
+    dcf: Mutex<BoundedMemo<DcfSolution>>,
+    delay: Mutex<BoundedMemo<DelayPrediction>>,
+    queue_n: Mutex<BoundedMemo<QueueSolutionN>>,
+    capacity: usize,
+}
+
+impl Default for SolveCache {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
 }
 
 impl SolveCache {
@@ -103,14 +144,37 @@ impl SolveCache {
     pub const HITS: &'static str = "fleet.solve_cache.hits";
     /// Telemetry counter incremented on every cache miss.
     pub const MISSES: &'static str = "fleet.solve_cache.misses";
+    /// Telemetry counter incremented on every FIFO eviction.
+    pub const EVICTIONS: &'static str = "fleet.solve_cache.evictions";
+    /// Default per-family capacity — far above any real sweep's working
+    /// set (a cell touches ~3 keys; the full figure suite a few dozen), so
+    /// the bound only matters as a worst-case memory cap.
+    pub const DEFAULT_CAPACITY: usize = 1024;
 
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache bounded to `capacity` entries per solve family.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a solve cache needs room for one entry");
+        SolveCache {
+            dcf: Mutex::default(),
+            delay: Mutex::default(),
+            queue_n: Mutex::default(),
+            capacity,
+        }
+    }
+
+    /// The per-family entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     fn memo<T: Clone, E>(
-        map: &Mutex<BTreeMap<String, T>>,
+        map: &Mutex<BoundedMemo<T>>,
+        capacity: usize,
         key: String,
         metrics: &MetricsRegistry,
         compute: impl FnOnce() -> Result<T, E>,
@@ -118,13 +182,22 @@ impl SolveCache {
         // Holding the lock across `compute` serialises concurrent first
         // lookups: one miss per distinct key, deterministically.
         let mut guard = map.lock().expect("solve cache poisoned");
-        if let Some(v) = guard.get(&key) {
+        if let Some(v) = guard.map.get(&key) {
             metrics.counter(Self::HITS).inc();
             return Ok(v.clone());
         }
         metrics.counter(Self::MISSES).inc();
         let v = compute()?;
-        guard.insert(key, v.clone());
+        guard.map.insert(key.clone(), v.clone());
+        guard.order.push_back(key);
+        while guard.map.len() > capacity {
+            let oldest = guard
+                .order
+                .pop_front()
+                .expect("order queue tracks every inserted key");
+            guard.map.remove(&oldest);
+            metrics.counter(Self::EVICTIONS).inc();
+        }
         Ok(v)
     }
 
@@ -135,7 +208,9 @@ impl SolveCache {
         model: &DcfModel,
         metrics: &MetricsRegistry,
     ) -> Result<DcfSolution, DcfError> {
-        Self::memo(&self.dcf, dcf_key(model), metrics, || model.try_solve())
+        Self::memo(&self.dcf, self.capacity, dcf_key(model), metrics, || {
+            model.try_solve()
+        })
     }
 
     /// Memoized [`DelayModel::predict`] for a (scenario, policy) pair —
@@ -150,6 +225,7 @@ impl SolveCache {
     ) -> Result<DelayPrediction, SolveError> {
         Self::memo(
             &self.delay,
+            self.capacity,
             queue_key("delay", params, stations, policy),
             metrics,
             || DelayModel::new(params).predict(policy),
@@ -169,6 +245,7 @@ impl SolveCache {
     ) -> Result<QueueSolutionN, SolveError> {
         Self::memo(
             &self.queue_n,
+            self.capacity,
             queue_key("queue_n", params, stations, policy),
             metrics,
             || {
@@ -183,9 +260,9 @@ impl SolveCache {
 
     /// Number of distinct solutions currently memoized (all families).
     pub fn len(&self) -> usize {
-        self.dcf.lock().expect("solve cache poisoned").len()
-            + self.delay.lock().expect("solve cache poisoned").len()
-            + self.queue_n.lock().expect("solve cache poisoned").len()
+        self.dcf.lock().expect("solve cache poisoned").map.len()
+            + self.delay.lock().expect("solve cache poisoned").map.len()
+            + self.queue_n.lock().expect("solve cache poisoned").map.len()
     }
 
     /// Whether nothing has been memoized yet.
@@ -319,6 +396,55 @@ mod tests {
         let n = cache.queue_n(&params, 9, policy, &metrics).unwrap();
         let rel = (n.mean_sojourn_s - two.mean_delay_s).abs() / two.mean_delay_s;
         assert!(rel < 1e-6, "cross-solver disagreement {rel}");
+    }
+
+    #[test]
+    fn fifo_eviction_fires_at_the_bound_and_is_counted() {
+        let cache = SolveCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let metrics = MetricsRegistry::enabled();
+        let models: Vec<DcfModel> = [5usize, 9, 29]
+            .iter()
+            .map(|&n| DcfModel::new(n, 0.02, PhyParams::g_54mbps()))
+            .collect();
+        let first = cache.dcf(&models[0], &metrics).unwrap();
+        cache.dcf(&models[1], &metrics).unwrap();
+        // Third insert evicts the oldest (models[0]).
+        cache.dcf(&models[2], &metrics).unwrap();
+        assert_eq!(cache.len(), 2);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter(SolveCache::EVICTIONS), 1);
+        assert_eq!(snap.counter(SolveCache::MISSES), 3);
+        // models[1] survived (hit); models[0] was evicted (miss) — and the
+        // recompute returns the identical bits, so values never change.
+        cache.dcf(&models[1], &metrics).unwrap();
+        let again = cache.dcf(&models[0], &metrics).unwrap();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter(SolveCache::HITS), 1);
+        assert_eq!(snap.counter(SolveCache::MISSES), 4);
+        assert_eq!(
+            again.packet_success_rate.to_bits(),
+            first.packet_success_rate.to_bits()
+        );
+    }
+
+    #[test]
+    fn default_capacity_never_evicts_in_a_figure_sized_sweep() {
+        let cache = SolveCache::new();
+        assert_eq!(cache.capacity(), SolveCache::DEFAULT_CAPACITY);
+        let metrics = MetricsRegistry::enabled();
+        for n in 1..=64usize {
+            let model = DcfModel::new(n, 0.02, PhyParams::g_54mbps());
+            cache.dcf(&model, &metrics).unwrap();
+        }
+        assert_eq!(cache.len(), 64);
+        assert_eq!(metrics.snapshot().counter(SolveCache::EVICTIONS), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "room for one entry")]
+    fn zero_capacity_is_rejected() {
+        let _ = SolveCache::with_capacity(0);
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! — feeds the Bianchi DCF fixed point, and the resulting `(p_s, λ_b)`
 //! parameterises every flow's per-packet backoff as well as the analytic
 //! prediction. Flows are partitioned into contiguous shards fanned across
-//! threads with [`par_map`]; each flow draws from its own
-//! [`flow_rng`] stream and owns its own `MetricsRegistry`, and the final
-//! merge walks flows in fixed flow-id order — so the result is
-//! bit-identical across invocations *and* across shard counts.
+//! threads with [`par_map`]; each shard drains its flows as state machines
+//! on one `thrifty-des` calendar keyed by global flow id, each flow draws
+//! from its own [`flow_rng`] stream and owns its own `MetricsRegistry`,
+//! and the final merge walks flows in fixed flow-id order — so the result
+//! is bit-identical across invocations *and* across shard counts, and
+//! bit-identical to the retained sequential loop
+//! ([`FleetEngine::run_reference`]).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,10 +22,12 @@ use thrifty_analytic::params::{
     DeviceSpec, ScenarioParams, DEFAULT_CHANNEL_PER, SAMSUNG_GALAXY_S2,
 };
 use thrifty_analytic::policy::Policy;
+use thrifty_des::Executor;
 use thrifty_net::dcf::{DcfModel, PhyParams};
 use thrifty_sim::sender::{SenderSim, SenderSummary};
 use thrifty_telemetry::{MetricsRegistry, Snapshot};
 use thrifty_video::encoder::{EncodedStream, StatisticalEncoder};
+use thrifty_video::packet::Packetizer;
 use thrifty_video::motion::MotionLevel;
 use thrifty_video::quality::{measure_quality, RefreshingDecoder};
 use thrifty_video::scene::{SceneConfig, SceneGenerator};
@@ -270,32 +275,64 @@ impl FleetEngine {
         &self.config
     }
 
+    /// Contiguous ascending shard ranges, so flattening shard outputs
+    /// yields flow-id order without a sort.
+    fn shard_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        let n = self.config.n_flows;
+        let shard_count = self.config.effective_shards();
+        let per_shard = n.div_ceil(shard_count);
+        (0..shard_count)
+            .map(|s| (s * per_shard).min(n)..((s + 1) * per_shard).min(n))
+            .filter(|r| !r.is_empty())
+            .collect()
+    }
+
     /// Run every flow, fanning contiguous shards across threads, and merge
     /// deterministically. `metrics` receives the cell-level counters (cache
     /// hits/misses, flow count); each flow's spans and histograms land in
     /// its own snapshot and merge in flow-id order.
+    ///
+    /// Since the calendar port each shard is one discrete-event drain: the
+    /// shard's flows become [`thrifty_sim::sender::SenderFlowMachine`]s on
+    /// one `thrifty-des` calendar (keyed by **global** flow id), and events
+    /// interleave across the shard's flows in global sim-time order. Each
+    /// machine draws only from its own [`flow_rng`] stream and writes only
+    /// its own registry, so the result is bit-identical to the retained
+    /// per-flow loop ([`run_reference`](Self::run_reference)) — a relation
+    /// the engine tests assert for N ∈ {1, 2, 5}.
     pub fn run(&self, cache: &SolveCache, metrics: &MetricsRegistry) -> FleetResult {
-        let cfg = &self.config;
-        let n = cfg.n_flows;
-        let shard_count = cfg.effective_shards();
-        // Contiguous ascending ranges, so flattening shard outputs yields
-        // flow-id order without a sort.
-        let per_shard = n.div_ceil(shard_count);
-        let shards: Vec<std::ops::Range<usize>> = (0..shard_count)
-            .map(|s| (s * per_shard).min(n)..((s + 1) * per_shard).min(n))
-            .filter(|r| !r.is_empty())
-            .collect();
-        metrics.counter("fleet.flows").add(n as u64);
+        let shards = self.shard_ranges();
+        metrics.counter("fleet.flows").add(self.config.n_flows as u64);
         metrics.counter("fleet.shards").add(shards.len() as u64);
+        let shard_runs: Vec<Vec<FlowRun>> =
+            par_map(&shards, |range| self.run_shard(range.clone(), cache, metrics));
+        self.merge(shard_runs, cache, metrics)
+    }
 
+    /// The retained pre-calendar fleet path: identical shard partition and
+    /// merge, but every flow runs the legacy sequential per-packet loop.
+    /// Kept as the oracle [`run`](Self::run) is proven against.
+    pub fn run_reference(&self, cache: &SolveCache, metrics: &MetricsRegistry) -> FleetResult {
+        let shards = self.shard_ranges();
+        metrics.counter("fleet.flows").add(self.config.n_flows as u64);
+        metrics.counter("fleet.shards").add(shards.len() as u64);
         let shard_runs: Vec<Vec<FlowRun>> = par_map(&shards, |range| {
             range
                 .clone()
-                .map(|flow| self.run_flow(flow, cache, metrics))
+                .map(|flow| self.run_flow_reference(flow, cache, metrics))
                 .collect()
         });
+        self.merge(shard_runs, cache, metrics)
+    }
 
-        let mut flows = Vec::with_capacity(n);
+    fn merge(
+        &self,
+        shard_runs: Vec<Vec<FlowRun>>,
+        cache: &SolveCache,
+        metrics: &MetricsRegistry,
+    ) -> FleetResult {
+        let cfg = &self.config;
+        let mut flows = Vec::with_capacity(cfg.n_flows);
         let mut all_delays = Vec::new();
         let mut merged = Snapshot::default();
         let mut delivered_bits = 0.0f64;
@@ -336,11 +373,19 @@ impl FleetEngine {
         }
     }
 
-    /// One flow's hot loop: recall the cell's solves from the cache (all
-    /// hits after warm-up — the loop never re-solves), run the sender
-    /// pipeline on the flow's own RNG stream, and score the eavesdropper's
-    /// view of the clip.
-    fn run_flow(&self, flow: usize, cache: &SolveCache, metrics: &MetricsRegistry) -> FlowRun {
+    /// Per-flow cache traffic and stream setup, shared by both paths: the
+    /// same three solve queries the legacy loop issued per flow (all hits
+    /// after warm-up — nothing here re-solves), the flow's calibrated
+    /// parameters with the cell's DCF operating point written in
+    /// explicitly — so the coupling "live station count → every flow's
+    /// backoff" stays visible in the flow setup itself — and the flow's
+    /// own RNG stream and registry.
+    fn flow_setup(
+        &self,
+        flow: usize,
+        cache: &SolveCache,
+        metrics: &MetricsRegistry,
+    ) -> (ScenarioParams, StdRng, MetricsRegistry) {
         let cfg = &self.config;
         let dcf = cache
             .dcf(&Self::dcf_model(cfg), metrics)
@@ -348,14 +393,70 @@ impl FleetEngine {
         let _ = cache.delay(&self.params, cfg.stations(), cfg.policy, metrics);
         let _ = cache.queue_n(&self.params, cfg.stations(), cfg.policy, metrics);
         let mut params = self.params.clone();
-        // Identical bits to the prepared scenario's operating point; written
-        // explicitly so the coupling "live station count → every flow's
-        // backoff" is visible in the flow loop itself.
         params.dcf = dcf;
+        (params, flow_rng(cfg.seed, flow), MetricsRegistry::enabled())
+    }
 
-        let registry = MetricsRegistry::enabled();
-        let mut rng = flow_rng(cfg.seed, flow);
-        let summary = SenderSim::new(&params, cfg.policy).run_metered(&self.stream, &mut rng, &registry);
+    /// One shard as a discrete-event drain: build a [`SenderFlowMachine`]
+    /// per flow (drawing each flow's arrival process from its own stream,
+    /// in flow order — exactly what the sequential loop drew first), then
+    /// run them all on one calendar keyed by global flow id.
+    ///
+    /// [`SenderFlowMachine`]: thrifty_sim::sender::SenderFlowMachine
+    fn run_shard(
+        &self,
+        range: std::ops::Range<usize>,
+        cache: &SolveCache,
+        metrics: &MetricsRegistry,
+    ) -> Vec<FlowRun> {
+        let cfg = &self.config;
+        let mut params_v = Vec::with_capacity(range.len());
+        let mut rngs = Vec::with_capacity(range.len());
+        let mut registries = Vec::with_capacity(range.len());
+        for flow in range.clone() {
+            let (params, rng, registry) = self.flow_setup(flow, cache, metrics);
+            params_v.push(params);
+            rngs.push(rng);
+            registries.push(registry);
+        }
+        // One packetization per shard; it is a pure function of the shared
+        // stream, so every flow sees identical packets.
+        let packets = Packetizer::default().packetize(&self.stream);
+        let machines = params_v
+            .iter()
+            .zip(rngs.iter_mut())
+            .zip(registries.iter())
+            .map(|((params, rng), registry)| {
+                SenderSim::new(params, cfg.policy)
+                    .flow_machine(&self.stream, &packets, rng, registry)
+            })
+            .collect();
+        let mut exec = Executor::new(machines, range.start as u64);
+        exec.run(&mut ());
+        exec.into_machines()
+            .into_iter()
+            .zip(range)
+            .zip(registries.iter())
+            .map(|((machine, flow), registry)| {
+                self.outcome_of(flow, &machine.finish(), registry.snapshot())
+            })
+            .collect()
+    }
+
+    /// One flow through the retained sequential loop — the pre-calendar
+    /// hot path, kept verbatim for [`run_reference`](Self::run_reference).
+    fn run_flow_reference(
+        &self,
+        flow: usize,
+        cache: &SolveCache,
+        metrics: &MetricsRegistry,
+    ) -> FlowRun {
+        let (params, mut rng, registry) = self.flow_setup(flow, cache, metrics);
+        let summary = SenderSim::new(&params, self.config.policy).run_metered_reference(
+            &self.stream,
+            &mut rng,
+            &registry,
+        );
         self.outcome_of(flow, &summary, registry.snapshot())
     }
 
@@ -394,11 +495,14 @@ impl FleetEngine {
     }
 }
 
-/// The **existing single-sender path**, bypassing every fleet mechanism:
-/// plain [`ScenarioParams::calibrated`] (which runs its own DCF solve), a
-/// sequential [`SenderSim`] on `flow_rng(seed, 0)`, no cache, no shards, no
-/// merge. `reproduce fleet` asserts the engine's N = 1 cell reproduces this
-/// outcome bit for bit.
+/// The **pre-fleet, pre-calendar single-sender path**, bypassing every
+/// fleet mechanism: plain [`ScenarioParams::calibrated`] (which runs its
+/// own DCF solve), the sequential legacy [`SenderSim`] loop on
+/// `flow_rng(seed, 0)`, no cache, no shards, no calendar, no merge.
+/// `reproduce fleet` asserts the engine's N = 1 cell — which runs
+/// event-driven — reproduces this outcome bit for bit, making the gate a
+/// standing equivalence proof between the two execution engines at the
+/// full paper configuration.
 pub fn single_sender_reference(config: &FleetConfig) -> FlowOutcome {
     let params = ScenarioParams::calibrated(
         config.motion,
@@ -420,7 +524,8 @@ pub fn single_sender_reference(config: &FleetConfig) -> FlowOutcome {
 
     let registry = MetricsRegistry::enabled();
     let mut rng = flow_rng(config.seed, 0);
-    let summary = SenderSim::new(&params, config.policy).run_metered(&stream, &mut rng, &registry);
+    let summary =
+        SenderSim::new(&params, config.policy).run_metered_reference(&stream, &mut rng, &registry);
 
     // Same scoring arithmetic as the engine, restated independently.
     let engine = FleetEngine {
@@ -465,6 +570,32 @@ mod tests {
             fleet.flows[0].mean_delay_s,
             reference.mean_delay_s
         );
+    }
+
+    #[test]
+    fn event_engine_matches_reference_engine() {
+        // The calendar drain against the retained sequential loop, at the
+        // flow counts the issue pins: every flow, every aggregate and the
+        // merged snapshot bit-identical.
+        for n in [1usize, 2, 5] {
+            let cfg = small(n);
+            let run_with = |event: bool| {
+                let cache = SolveCache::new();
+                let metrics = MetricsRegistry::enabled();
+                let engine = FleetEngine::prepare(cfg, &cache, &metrics);
+                if event {
+                    engine.run(&cache, &metrics)
+                } else {
+                    engine.run_reference(&cache, &metrics)
+                }
+            };
+            let event = run_with(true);
+            let reference = run_with(false);
+            assert!(
+                event.bit_identical(&reference),
+                "event vs reference diverged at N={n}"
+            );
+        }
     }
 
     #[test]
@@ -530,6 +661,41 @@ mod tests {
         assert_eq!(snap.counter(SolveCache::HITS), 24);
         let rate = SolveCache::hit_rate(&snap).unwrap();
         assert!(rate > 0.85, "hit rate {rate}");
+    }
+
+    #[test]
+    fn cache_capacity_changes_no_figure_value() {
+        // Two cells with different station counts sharing one capacity-1
+        // cache: the second cell's keys evict the first's in every family,
+        // and re-preparing the first cell re-solves from scratch — yet
+        // every value (flows, aggregates, merged snapshots) stays
+        // bit-identical to fresh unbounded-cache runs, because solves are
+        // pure and the eviction counters land in the cell registry, not in
+        // any flow's snapshot.
+        let cell_a = small(4);
+        let cell_b = small(6); // different live station count -> new keys
+        let baseline = |cfg: FleetConfig| {
+            let cache = SolveCache::new();
+            let metrics = MetricsRegistry::enabled();
+            FleetEngine::prepare(cfg, &cache, &metrics).run(&cache, &metrics)
+        };
+        let (base_a, base_b) = (baseline(cell_a), baseline(cell_b));
+
+        let shared = SolveCache::with_capacity(1);
+        let metrics = MetricsRegistry::enabled();
+        let tight_a = FleetEngine::prepare(cell_a, &shared, &metrics).run(&shared, &metrics);
+        let tight_b = FleetEngine::prepare(cell_b, &shared, &metrics).run(&shared, &metrics);
+        // Cell A again: its keys were evicted by B, forcing re-solves.
+        let tight_a2 = FleetEngine::prepare(cell_a, &shared, &metrics).run(&shared, &metrics);
+
+        assert!(tight_a.bit_identical(&base_a), "capacity changed cell A");
+        assert!(tight_b.bit_identical(&base_b), "capacity changed cell B");
+        assert!(tight_a2.bit_identical(&base_a), "re-solve changed cell A");
+        let snap = metrics.snapshot();
+        assert!(
+            snap.counter(SolveCache::EVICTIONS) > 0,
+            "a shared capacity-1 cache across cells must evict"
+        );
     }
 
     #[test]

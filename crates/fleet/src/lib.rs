@@ -41,8 +41,10 @@ pub mod cache;
 pub mod engine;
 pub mod parallel;
 pub mod rng;
+pub mod scale;
 
 pub use cache::SolveCache;
 pub use engine::{single_sender_reference, FleetConfig, FleetEngine, FleetResult, FlowOutcome};
 pub use parallel::{par_flat_map, par_map};
-pub use rng::flow_rng;
+pub use rng::{flow_rng, flow_substream};
+pub use scale::{DelayHistogram, ScaleConfig, ScaleEngine, ScaleResult};

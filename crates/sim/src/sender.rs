@@ -13,6 +13,7 @@
 use rand::Rng;
 use thrifty_analytic::params::ScenarioParams;
 use thrifty_analytic::policy::Policy;
+use thrifty_des::{EventKey, Executor, FlowMachine, Schedule, SimTime};
 use thrifty_net::capture::{CapturedPacket, PacketCapture};
 use thrifty_video::encoder::EncodedStream;
 use thrifty_video::packet::{Packetizer, VideoPacket};
@@ -158,119 +159,81 @@ impl<'a> SenderSim<'a> {
     /// Run the pipeline, reporting per-stage spans and counters into
     /// `metrics`.
     ///
-    /// Every packet contributes one interval to each of the
-    /// [`Enqueue`](Stage::Enqueue), [`Encrypt`](Stage::Encrypt),
-    /// [`DcfBackoff`](Stage::DcfBackoff) and [`Transmit`](Stage::Transmit)
-    /// spans, and those four intervals sum **exactly** to the packet's
-    /// queueing + service delay — the decomposition the figure-level
-    /// telemetry cross-checks against the reported means. Metering draws
-    /// nothing from `rng`, so a seeded run is bit-identical with metrics on
-    /// or off.
+    /// Since the calendar port this is the **event-driven** path: the run
+    /// builds one [`SenderFlowMachine`] and drains it on a private
+    /// `thrifty-des` calendar — each packet is one event, dispatched at its
+    /// effective arrival time. The machine steps the same [`PipelineCore`]
+    /// the retained reference loop
+    /// ([`run_metered_reference`](Self::run_metered_reference)) steps, so
+    /// the two paths share every RNG draw and every arithmetic operation
+    /// and produce bit-identical summaries.
+    ///
+    /// Every packet contributes one interval to each of the `Enqueue`,
+    /// `Encrypt`, `DcfBackoff` and `Transmit` spans, and those four
+    /// intervals sum **exactly** to the packet's queueing + service delay —
+    /// the decomposition the figure-level telemetry cross-checks against
+    /// the reported means. Metering draws nothing from `rng`, so a seeded
+    /// run is bit-identical with metrics on or off.
     pub fn run_metered<R: Rng + ?Sized>(
         &self,
         stream: &EncodedStream,
         rng: &mut R,
         metrics: &thrifty_telemetry::MetricsRegistry,
     ) -> SenderSummary {
-        use thrifty_telemetry::Stage;
+        let packets = Packetizer::default().packetize(stream);
+        let machine = self.flow_machine(stream, &packets, rng, metrics);
+        let mut exec = Executor::new(vec![machine], 0);
+        exec.run(&mut ());
+        let machine = exec
+            .into_machines()
+            .pop()
+            .expect("executor was built with exactly one machine");
+        machine.finish()
+    }
+
+    /// The retained per-packet loop — the pre-calendar implementation, kept
+    /// as the oracle the event-driven path is proven against (see the
+    /// `event_run_matches_reference_*` tests and the fleet engine's
+    /// `run_reference`). Identical draws, identical arithmetic, no
+    /// calendar.
+    pub fn run_metered_reference<R: Rng + ?Sized>(
+        &self,
+        stream: &EncodedStream,
+        rng: &mut R,
+        metrics: &thrifty_telemetry::MetricsRegistry,
+    ) -> SenderSummary {
         let packets = Packetizer::default().packetize(stream);
         let arrivals = self.arrival_times(&packets, stream, rng);
-        let delivery = self.params.delivery_rate();
-        let cost = self.params.cost_model(self.policy.algorithm);
-        let jitter = self.params.jitter_rel;
-        let p_s = self.params.dcf.packet_success_rate;
-        let backoff_rate = self.params.dcf.backoff_rate_hz;
-
-        // Counter handles are acquired once; per-packet cost is a relaxed
-        // atomic add (nothing at all when the registry is disabled).
-        let packets_i = metrics.counter("sim.packets.I");
-        let packets_p = metrics.counter("sim.packets.P");
-        let packets_encrypted = metrics.counter("sim.packets.encrypted");
-        let packets_delivered = metrics.counter("sim.packets.delivered");
-        let packets_lost = metrics.counter("sim.packets.lost");
-        let bytes_encrypted = metrics.counter(&format!(
-            "sim.bytes_encrypted.{}",
-            self.policy.algorithm.name()
-        ));
-
-        let mut records = Vec::with_capacity(packets.len());
-        let mut capture = PacketCapture::new();
-        let mut queue_clear_at = 0.0f64; // when the server frees up
-        let mut sum_delay = 0.0;
-        let mut sum_enc = 0.0;
+        let mut core = PipelineCore::new(self, metrics, packets.len());
         for (pkt, &nominal_arrival) in packets.iter().zip(arrivals.iter()) {
-            // Closed-loop producer: an enqueue cannot happen while the queue
-            // already holds more than the bound's worth of unfinished work
-            // (both terms are nondecreasing, so arrivals stay ordered).
-            let arrival = match self.backlog_bound_s {
-                Some(bound) => nominal_arrival.max(queue_clear_at - bound),
-                None => nominal_arrival,
-            };
-            let unit: f64 = rng.gen_range(0.0..1.0);
-            let encrypted = self.policy.mode.should_encrypt(pkt.ftype, unit);
-            let enc_time = if encrypted {
-                gaussian(rng, cost.mean_time(pkt.bytes), jitter * cost.mean_time(pkt.bytes))
-            } else {
-                0.0
-            };
-            let mut backoff = 0.0;
-            while !rng.gen_bool(p_s) {
-                backoff += exponential(rng, backoff_rate);
-            }
-            let tx_mean = self.params.phy.tx_time_s(pkt.bytes + 40);
-            let tx = gaussian(rng, tx_mean, jitter * tx_mean);
-            let service = enc_time + backoff + tx;
-
-            let start = queue_clear_at.max(arrival);
-            let wait = start - arrival;
-            queue_clear_at = start + service;
-            let delivered = rng.gen_bool(delivery);
-
-            sum_delay += wait + service;
-            sum_enc += enc_time;
-            metrics.record_span(Stage::Enqueue, wait);
-            metrics.record_span(Stage::Encrypt, enc_time);
-            metrics.record_span(Stage::DcfBackoff, backoff);
-            metrics.record_span(Stage::Transmit, tx);
-            match pkt.ftype {
-                FrameType::I => packets_i.inc(),
-                FrameType::P => packets_p.inc(),
-            }
-            if encrypted {
-                packets_encrypted.inc();
-                bytes_encrypted.add(pkt.bytes as u64);
-            }
-            if delivered {
-                packets_delivered.inc();
-            } else {
-                packets_lost.inc();
-            }
-            capture.record(CapturedPacket {
-                seq: pkt.seq,
-                frame_index: pkt.frame_index,
-                bytes: pkt.bytes,
-                encrypted,
-                time_s: queue_clear_at,
-            });
-            records.push(PacketRecord {
-                seq: pkt.seq,
-                frame_index: pkt.frame_index,
-                ftype: pkt.ftype,
-                bytes: pkt.bytes,
-                encrypted,
-                arrival_s: arrival,
-                wait_s: wait,
-                service_s: service,
-                delivered,
-            });
+            let arrival = core.effective_arrival(nominal_arrival);
+            core.step(pkt, arrival, rng);
         }
-        let n = records.len().max(1) as f64;
-        SenderSummary {
-            mean_delay_s: sum_delay / n,
-            mean_encryption_s: sum_enc / n,
-            duration_s: queue_clear_at,
-            records,
-            capture,
+        core.finish()
+    }
+
+    /// Build this sender as a [`FlowMachine`] for an external calendar.
+    ///
+    /// Draws the flow's arrival process from `rng` up front (exactly what
+    /// the reference loop draws first), then yields a machine that replays
+    /// one packet per event. The fleet engine schedules many of these on
+    /// one per-shard calendar; because each machine draws only from its own
+    /// `rng` and writes only to its own `metrics`, interleaving flows on
+    /// the global clock changes no per-flow result bit.
+    pub fn flow_machine<'m, R: Rng + ?Sized>(
+        &self,
+        stream: &EncodedStream,
+        packets: &'m [VideoPacket],
+        rng: &'m mut R,
+        metrics: &'m thrifty_telemetry::MetricsRegistry,
+    ) -> SenderFlowMachine<'m, R> {
+        let arrivals = self.arrival_times(packets, stream, rng);
+        let core = PipelineCore::new(self, metrics, packets.len());
+        SenderFlowMachine {
+            core,
+            packets,
+            arrivals,
+            rng,
         }
     }
 
@@ -311,12 +274,230 @@ impl<'a> SenderSim<'a> {
     }
 }
 
-fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+/// Per-run pipeline state shared by the event-driven drain and the
+/// reference loop: policy constants, telemetry handles and the Lindley
+/// accumulators.
+///
+/// Both paths advance a packet with [`step`](PipelineCore::step), so every
+/// RNG draw and every floating-point operation is common code — which is
+/// what makes the calendar port bit-identical to the legacy loop rather
+/// than merely close. The struct owns copies of the calibrated constants
+/// (all `Copy`), so machines built from it hold no borrow of the scenario.
+struct PipelineCore<'a> {
+    policy: Policy,
+    backlog_bound_s: Option<f64>,
+    delivery: f64,
+    cost: thrifty_crypto::CostModel,
+    jitter: f64,
+    p_s: f64,
+    backoff_rate: f64,
+    phy: thrifty_net::PhyParams,
+    metrics: &'a thrifty_telemetry::MetricsRegistry,
+    // Counter handles are acquired once; per-packet cost is a relaxed
+    // atomic add (nothing at all when the registry is disabled).
+    packets_i: thrifty_telemetry::Counter,
+    packets_p: thrifty_telemetry::Counter,
+    packets_encrypted: thrifty_telemetry::Counter,
+    packets_delivered: thrifty_telemetry::Counter,
+    packets_lost: thrifty_telemetry::Counter,
+    bytes_encrypted: thrifty_telemetry::Counter,
+    records: Vec<PacketRecord>,
+    capture: PacketCapture,
+    /// When the server frees up (Lindley recursion state).
+    queue_clear_at: f64,
+    sum_delay: f64,
+    sum_enc: f64,
+}
+
+impl<'a> PipelineCore<'a> {
+    fn new(
+        sim: &SenderSim<'_>,
+        metrics: &'a thrifty_telemetry::MetricsRegistry,
+        n_packets: usize,
+    ) -> Self {
+        PipelineCore {
+            policy: sim.policy,
+            backlog_bound_s: sim.backlog_bound_s,
+            delivery: sim.params.delivery_rate(),
+            cost: sim.params.cost_model(sim.policy.algorithm),
+            jitter: sim.params.jitter_rel,
+            p_s: sim.params.dcf.packet_success_rate,
+            backoff_rate: sim.params.dcf.backoff_rate_hz,
+            phy: sim.params.phy,
+            metrics,
+            packets_i: metrics.counter("sim.packets.I"),
+            packets_p: metrics.counter("sim.packets.P"),
+            packets_encrypted: metrics.counter("sim.packets.encrypted"),
+            packets_delivered: metrics.counter("sim.packets.delivered"),
+            packets_lost: metrics.counter("sim.packets.lost"),
+            bytes_encrypted: metrics.counter(&format!(
+                "sim.bytes_encrypted.{}",
+                sim.policy.algorithm.name()
+            )),
+            records: Vec::with_capacity(n_packets),
+            capture: PacketCapture::new(),
+            queue_clear_at: 0.0,
+            sum_delay: 0.0,
+            sum_enc: 0.0,
+        }
+    }
+
+    /// Closed-loop producer: an enqueue cannot happen while the queue
+    /// already holds more than the bound's worth of unfinished work (both
+    /// terms are nondecreasing, so arrivals stay ordered — and so the
+    /// event a handler schedules from this time is never in its past).
+    fn effective_arrival(&self, nominal: f64) -> f64 {
+        match self.backlog_bound_s {
+            Some(bound) => nominal.max(self.queue_clear_at - bound),
+            None => nominal,
+        }
+    }
+
+    /// One packet through encrypt → backoff → transmit → channel, with the
+    /// Lindley update and all telemetry. `arrival` must come from
+    /// [`effective_arrival`](Self::effective_arrival) evaluated under the
+    /// queue state left by the previous packet.
+    fn step<R: Rng + ?Sized>(&mut self, pkt: &VideoPacket, arrival: f64, rng: &mut R) {
+        use thrifty_telemetry::Stage;
+        let unit: f64 = rng.gen_range(0.0..1.0);
+        let encrypted = self.policy.mode.should_encrypt(pkt.ftype, unit);
+        let enc_time = if encrypted {
+            gaussian(
+                rng,
+                self.cost.mean_time(pkt.bytes),
+                self.jitter * self.cost.mean_time(pkt.bytes),
+            )
+        } else {
+            0.0
+        };
+        let mut backoff = 0.0;
+        while !rng.gen_bool(self.p_s) {
+            backoff += exponential(rng, self.backoff_rate);
+        }
+        let tx_mean = self.phy.tx_time_s(pkt.bytes + 40);
+        let tx = gaussian(rng, tx_mean, self.jitter * tx_mean);
+        let service = enc_time + backoff + tx;
+
+        let start = self.queue_clear_at.max(arrival);
+        let wait = start - arrival;
+        self.queue_clear_at = start + service;
+        let delivered = rng.gen_bool(self.delivery);
+
+        self.sum_delay += wait + service;
+        self.sum_enc += enc_time;
+        self.metrics.record_span(Stage::Enqueue, wait);
+        self.metrics.record_span(Stage::Encrypt, enc_time);
+        self.metrics.record_span(Stage::DcfBackoff, backoff);
+        self.metrics.record_span(Stage::Transmit, tx);
+        match pkt.ftype {
+            FrameType::I => self.packets_i.inc(),
+            FrameType::P => self.packets_p.inc(),
+        }
+        if encrypted {
+            self.packets_encrypted.inc();
+            self.bytes_encrypted.add(pkt.bytes as u64);
+        }
+        if delivered {
+            self.packets_delivered.inc();
+        } else {
+            self.packets_lost.inc();
+        }
+        self.capture.record(CapturedPacket {
+            seq: pkt.seq,
+            frame_index: pkt.frame_index,
+            bytes: pkt.bytes,
+            encrypted,
+            time_s: self.queue_clear_at,
+        });
+        self.records.push(PacketRecord {
+            seq: pkt.seq,
+            frame_index: pkt.frame_index,
+            ftype: pkt.ftype,
+            bytes: pkt.bytes,
+            encrypted,
+            arrival_s: arrival,
+            wait_s: wait,
+            service_s: service,
+            delivered,
+        });
+    }
+
+    fn finish(self) -> SenderSummary {
+        let n = self.records.len().max(1) as f64;
+        SenderSummary {
+            mean_delay_s: self.sum_delay / n,
+            mean_encryption_s: self.sum_enc / n,
+            duration_s: self.queue_clear_at,
+            records: self.records,
+            capture: self.capture,
+        }
+    }
+}
+
+/// One sender flow as a calendar state machine: each event is one packet,
+/// keyed by its wire seq and dispatched at its **effective** arrival time.
+///
+/// The handler steps the shared [`PipelineCore`] and schedules the next
+/// packet at its effective arrival — which is computable the moment the
+/// current packet leaves the Lindley recursion, and never earlier than the
+/// event being handled (effective arrivals are nondecreasing), so the
+/// schedule is causal by construction. Draws come only from the machine's
+/// own `rng`, in packet-seq order — the exact order of the reference loop —
+/// so the dispatch interleaving across flows on a shared calendar cannot
+/// perturb any flow's stream.
+pub struct SenderFlowMachine<'m, R: Rng + ?Sized> {
+    core: PipelineCore<'m>,
+    packets: &'m [VideoPacket],
+    arrivals: Vec<f64>,
+    rng: &'m mut R,
+}
+
+impl<R: Rng + ?Sized> SenderFlowMachine<'_, R> {
+    /// Consume the machine after the drain and produce the run's summary.
+    pub fn finish(self) -> SenderSummary {
+        self.core.finish()
+    }
+}
+
+impl<R: Rng + ?Sized> FlowMachine for SenderFlowMachine<'_, R> {
+    type Event = ();
+    type Ctx = ();
+
+    fn start(&mut self, sched: &mut Schedule<'_, ()>, _ctx: &mut ()) {
+        if !self.packets.is_empty() {
+            let t = self.core.effective_arrival(self.arrivals[0]);
+            sched.at(SimTime::from_s(t), 0, ());
+        }
+    }
+
+    fn on_event(
+        &mut self,
+        key: EventKey,
+        _event: (),
+        sched: &mut Schedule<'_, ()>,
+        _ctx: &mut (),
+    ) {
+        let i = key.seq as usize;
+        self.core.step(&self.packets[i], key.time.as_s(), self.rng);
+        if i + 1 < self.packets.len() {
+            let t = self.core.effective_arrival(self.arrivals[i + 1]);
+            sched.at(SimTime::from_s(t), key.seq + 1, ());
+        }
+    }
+}
+
+/// Inverse-CDF exponential draw — the arrival/backoff sampler of the
+/// pipeline. Public so the fleet's scale path samples with bit-identical
+/// arithmetic instead of a reimplementation.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
     -u.ln() / rate
 }
 
-fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+/// Box–Muller gaussian draw truncated at zero; degenerate `std <= 0`
+/// returns the (clamped) mean without consuming the stream. Public for the
+/// same reason as [`exponential`].
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
     if std <= 0.0 {
         return mean.max(0.0);
     }
@@ -533,6 +714,62 @@ mod tests {
             .map(|r| r.bytes as u64)
             .sum();
         assert_eq!(snap.counter("sim.bytes_encrypted.AES256"), enc_bytes);
+    }
+
+    #[test]
+    fn event_run_matches_reference_bit_for_bit() {
+        // The calendar port against the retained per-packet loop: same
+        // seed, same records (bit-level), same capture, same telemetry.
+        use thrifty_telemetry::MetricsRegistry;
+        for mode in [
+            EncryptionMode::None,
+            EncryptionMode::IFrames,
+            EncryptionMode::IPlusFractionP(0.3),
+            EncryptionMode::All,
+        ] {
+            let (params, stream, policy) = setup(mode);
+            let sim = SenderSim::new(&params, policy);
+            let event_metrics = MetricsRegistry::enabled();
+            let mut rng = StdRng::seed_from_u64(41);
+            let event = sim.run_metered(&stream, &mut rng, &event_metrics);
+            let ref_metrics = MetricsRegistry::enabled();
+            let mut rng = StdRng::seed_from_u64(41);
+            let reference = sim.run_metered_reference(&stream, &mut rng, &ref_metrics);
+            assert_eq!(event.records, reference.records, "mode {mode:?}");
+            assert_eq!(
+                event.mean_delay_s.to_bits(),
+                reference.mean_delay_s.to_bits()
+            );
+            assert_eq!(
+                event.mean_encryption_s.to_bits(),
+                reference.mean_encryption_s.to_bits()
+            );
+            assert_eq!(event.duration_s.to_bits(), reference.duration_s.to_bits());
+            assert_eq!(event.capture.len(), reference.capture.len());
+            assert_eq!(
+                event_metrics.snapshot().to_json(),
+                ref_metrics.snapshot().to_json(),
+                "telemetry must not depend on the execution engine"
+            );
+        }
+    }
+
+    #[test]
+    fn event_run_matches_reference_closed_loop() {
+        // The backlog bound couples each arrival to the queue state, so it
+        // exercises the handler-schedules-next-arrival path hardest.
+        let (params, stream, policy) = setup(EncryptionMode::All);
+        let sim = SenderSim::new(&params, policy).with_backlog_bound(1e-3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let event = sim.run(&stream, &mut rng);
+        let mut rng = StdRng::seed_from_u64(42);
+        let reference = sim.run_metered_reference(
+            &stream,
+            &mut rng,
+            &thrifty_telemetry::MetricsRegistry::disabled(),
+        );
+        assert_eq!(event.records, reference.records);
+        assert_eq!(event.duration_s.to_bits(), reference.duration_s.to_bits());
     }
 
     #[test]
