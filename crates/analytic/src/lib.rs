@@ -27,13 +27,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+//! * [`fountain`] — the fountain transport's overhead-vs-loss term: the
+//!   exact delivered-symbol distribution per channel (binomial / GE
+//!   dynamic program) thresholded at a calibrated peeling margin, and the
+//!   renewal-reward delay of spraying `k(1+ε)` symbols per block.
+
 pub mod delay;
 pub mod distortion;
+pub mod fountain;
 pub mod params;
 pub mod policy;
 pub mod regression;
 
 pub use delay::{DelayModel, DelayPrediction};
+pub use fountain::{FountainChannel, FountainDelayModel, DEFAULT_PEELING_MARGIN};
 pub use distortion::{DistortionModel, DistortionPrediction, Observer};
 pub use params::{ArrivalModel, Measurements, ScenarioParams};
 pub use policy::{EncryptionMode, Policy};

@@ -10,7 +10,7 @@
 //! `scripts/bless.sh` after an *intentional* output change.
 
 use crate::{
-    ablation_percentiles, fig2, fig4, fig5, headline, table2, Effort, Table,
+    ablation_percentiles, fig2, fig4, fig5, fountain_matrix, headline, table2, Effort, Table,
 };
 
 /// The fixed effort every golden figure is generated at — small enough for
@@ -34,6 +34,7 @@ pub fn golden_figures() -> Vec<(&'static str, Table)> {
         ("table2", table2(effort)),
         ("headline", headline()),
         ("ablation_d_percentiles", ablation_percentiles()),
+        ("fountain_matrix", fountain_matrix(effort).0),
     ]
 }
 

@@ -22,6 +22,7 @@
 
 pub mod faults;
 pub mod fleet;
+pub mod fountain;
 pub mod golden;
 pub mod throughput;
 
@@ -31,6 +32,7 @@ pub mod throughput;
 pub use thrifty_fleet::parallel;
 
 pub use faults::{fault_matrix, verify_fault_matrix, ChannelKind, FaultClass, TransportKind};
+pub use fountain::{fountain_matrix, verify_fountain_matrix, LossPoint, ProtocolKind};
 pub use fleet::{
     bench_fleet_json, fleet_sweep, scale_sweep, verify_fleet_sweep, verify_scale_sweep,
     ScaleBench, FLEET_SIZES, SCALE_SIZES, SCALE_SIZE_FULL,

@@ -448,6 +448,39 @@ mod tests {
     }
 
     #[test]
+    fn capacity_one_thrashes_but_never_changes_values() {
+        // The smallest legal cache: every alternating lookup evicts the
+        // other key, so nothing ever hits — but each recompute returns the
+        // identical bits (capacity bounds *when* work happens, not *what*
+        // callers get back).
+        let cache = SolveCache::with_capacity(1);
+        assert_eq!(cache.capacity(), 1);
+        let metrics = MetricsRegistry::enabled();
+        let a = DcfModel::new(5, 0.02, PhyParams::g_54mbps());
+        let b = DcfModel::new(9, 0.02, PhyParams::g_54mbps());
+        let first_a = cache.dcf(&a, &metrics).unwrap();
+        let first_b = cache.dcf(&b, &metrics).unwrap(); // evicts a
+        let again_a = cache.dcf(&a, &metrics).unwrap(); // miss, evicts b
+        let again_b = cache.dcf(&b, &metrics).unwrap(); // miss, evicts a
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            first_a.packet_success_rate.to_bits(),
+            again_a.packet_success_rate.to_bits()
+        );
+        assert_eq!(
+            first_b.packet_success_rate.to_bits(),
+            again_b.packet_success_rate.to_bits()
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter(SolveCache::MISSES), 4);
+        assert_eq!(snap.counter(SolveCache::HITS), 0);
+        assert_eq!(snap.counter(SolveCache::EVICTIONS), 3);
+        // Back-to-back same-key lookups still hit even at capacity one.
+        cache.dcf(&b, &metrics).unwrap();
+        assert_eq!(metrics.snapshot().counter(SolveCache::HITS), 1);
+    }
+
+    #[test]
     fn concurrent_lookups_miss_exactly_once() {
         use std::sync::Arc;
         let cache = Arc::new(SolveCache::new());

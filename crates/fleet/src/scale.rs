@@ -565,6 +565,52 @@ mod tests {
     }
 
     #[test]
+    fn merging_empty_shards_is_the_identity() {
+        // An idle shard (zero packets) must not perturb the merged
+        // histogram in either merge direction.
+        let mut loaded = DelayHistogram::default();
+        loaded.record(3e-9);
+        loaded.record(1.0);
+        let before = loaded.clone();
+        loaded.merge(&DelayHistogram::default());
+        assert_eq!(loaded, before, "merging an empty shard changed counts");
+        let mut empty = DelayHistogram::default();
+        empty.merge(&before);
+        assert_eq!(empty, before, "merging into an empty shard is not a copy");
+        // Empty ⊕ empty stays empty, percentiles stay NaN.
+        let mut both = DelayHistogram::default();
+        both.merge(&DelayHistogram::default());
+        assert_eq!(both.total(), 0);
+        assert!(both.percentile(0.5).is_nan());
+    }
+
+    #[test]
+    fn single_bucket_shards_merge_to_exact_percentiles() {
+        // Degenerate shards whose mass sits in one bucket each: the merge
+        // is an elementwise add, so counts and every percentile are exact.
+        let mut a = DelayHistogram::default();
+        for _ in 0..3 {
+            a.record(3e-9); // bucket 2: [2, 4) ns
+        }
+        let mut b = DelayHistogram::default();
+        b.record(1.0); // bucket 30
+        let mut merged = DelayHistogram::default();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.total(), 4);
+        assert_eq!(merged.counts()[2], 3);
+        assert_eq!(merged.counts()[30], 1);
+        // 3 of 4 samples in bucket 2: p75 reads its lower bound, p100 the
+        // lone tail bucket — merge order must not matter.
+        assert_eq!(merged.percentile(0.75), 2e-9);
+        assert!((merged.percentile(1.0) - 2f64.powi(29) / 1e9).abs() < 1e-12);
+        let mut swapped = DelayHistogram::default();
+        swapped.merge(&b);
+        swapped.merge(&a);
+        assert_eq!(swapped, merged, "histogram merge must commute");
+    }
+
+    #[test]
     fn double_run_is_bit_identical_at_ten_thousand_flows() {
         let c = cfg(10_000);
         let a = run(c);

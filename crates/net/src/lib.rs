@@ -39,6 +39,6 @@ pub use dcf::{DcfModel, DcfSolution, PhyParams};
 pub use tcp::{TcpLatencyModel, TcpSegment};
 pub use traffic::{PaddingPolicy, SizeClass, SizeClassifier};
 pub use wire::{
-    FragmentHeader, RtpHeader, RtpPacket, UdpHeader, WireError, FRAG_HEADER_LEN, RTP_HEADER_LEN,
-    UDP_IP_OVERHEAD,
+    FountainHeader, FragmentHeader, RtpHeader, RtpPacket, UdpHeader, WireError,
+    FOUNTAIN_HEADER_LEN, FRAG_HEADER_LEN, RTP_HEADER_LEN, UDP_IP_OVERHEAD,
 };

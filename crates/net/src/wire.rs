@@ -36,6 +36,17 @@ pub enum WireError {
         /// Advertised fragment count.
         total: u16,
     },
+    /// A fountain header with impossible block geometry (`k == 0`,
+    /// `symbol_len == 0`, or a `block_len` inconsistent with
+    /// `k × symbol_len`).
+    BadFountain {
+        /// Advertised source-symbol count.
+        k: u16,
+        /// Advertised symbol length, bytes.
+        symbol_len: u16,
+        /// Advertised true block length, bytes.
+        block_len: u32,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -50,6 +61,16 @@ impl std::fmt::Display for WireError {
             }
             WireError::BadFragment { frag, total } => {
                 write!(f, "impossible fragment geometry: fragment {frag} of {total}")
+            }
+            WireError::BadFountain {
+                k,
+                symbol_len,
+                block_len,
+            } => {
+                write!(
+                    f,
+                    "impossible fountain geometry: k={k} symbol_len={symbol_len} block_len={block_len}"
+                )
             }
         }
     }
@@ -285,6 +306,102 @@ impl FragmentHeader {
     }
 }
 
+/// Length of the fountain symbol header, bytes.
+pub const FOUNTAIN_HEADER_LEN: usize = 16;
+
+/// The fountain transport's per-symbol header: the `(block, symbol_id)`
+/// coordinates an LT decoder needs to regenerate the symbol's neighbour
+/// set from the shared session seed, plus the block geometry
+/// (`k`, `symbol_len`, `block_len`) so a receiver can size its decoder
+/// from the first symbol it happens to catch — rateless transports cannot
+/// assume any particular symbol arrives first.
+///
+/// Parsing is fully defensive (panic-free lint tier): hostile or corrupted
+/// bytes yield a descriptive [`WireError`] and become counted erasures
+/// upstream, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FountainHeader {
+    /// Source block (GOP) number within the session.
+    pub block: u32,
+    /// Encoded symbol id; ids `< k` are the systematic prefix.
+    pub symbol_id: u32,
+    /// Source symbols in the block, `>= 1`.
+    pub k: u16,
+    /// Symbol payload length, bytes, `>= 1`.
+    pub symbol_len: u16,
+    /// True (unpadded) block length in bytes; must satisfy
+    /// `(k-1)·symbol_len < block_len <= k·symbol_len`.
+    pub block_len: u32,
+}
+
+impl FountainHeader {
+    /// Build a header; callers are expected to keep the geometry
+    /// consistent (`parse` enforces it on the receive path).
+    pub fn new(block: u32, symbol_id: u32, k: u16, symbol_len: u16, block_len: u32) -> Self {
+        FountainHeader {
+            block,
+            symbol_id,
+            k,
+            symbol_len,
+            block_len,
+        }
+    }
+
+    /// Whether `(k, symbol_len, block_len)` describe a realisable block.
+    fn geometry_ok(&self) -> bool {
+        if self.k == 0 || self.symbol_len == 0 || self.block_len == 0 {
+            return false;
+        }
+        let cap = self.k as u64 * self.symbol_len as u64;
+        let floor = (self.k as u64 - 1) * self.symbol_len as u64;
+        let len = self.block_len as u64;
+        len > floor && len <= cap
+    }
+
+    /// Serialise to the 16-byte wire form.
+    pub fn emit(&self) -> [u8; FOUNTAIN_HEADER_LEN] {
+        let [b0, b1, b2, b3] = self.block.to_be_bytes();
+        let [s0, s1, s2, s3] = self.symbol_id.to_be_bytes();
+        let [k0, k1] = self.k.to_be_bytes();
+        let [l0, l1] = self.symbol_len.to_be_bytes();
+        let [n0, n1, n2, n3] = self.block_len.to_be_bytes();
+        [
+            b0, b1, b2, b3, s0, s1, s2, s3, k0, k1, l0, l1, n0, n1, n2, n3,
+        ]
+    }
+
+    /// Parse a header off the front of `buffer`, returning it and the
+    /// symbol payload. Rejects short buffers and impossible geometry
+    /// (`k == 0`, `symbol_len == 0`, or a `block_len` outside
+    /// `((k-1)·symbol_len, k·symbol_len]`) so a corrupted symbol becomes
+    /// an erasure upstream instead of poisoning decoder state.
+    pub fn parse(buffer: &[u8]) -> Result<(FountainHeader, &[u8]), WireError> {
+        let Some((&[b0, b1, b2, b3, s0, s1, s2, s3, k0, k1, l0, l1, n0, n1, n2, n3], rest)) =
+            buffer.split_first_chunk::<FOUNTAIN_HEADER_LEN>()
+        else {
+            return Err(WireError::Truncated {
+                need: FOUNTAIN_HEADER_LEN,
+                got: buffer.len(),
+            });
+        };
+        let header = FountainHeader {
+            block: u32::from_be_bytes([b0, b1, b2, b3]),
+            symbol_id: u32::from_be_bytes([s0, s1, s2, s3]),
+            k: u16::from_be_bytes([k0, k1]),
+            symbol_len: u16::from_be_bytes([l0, l1]),
+            block_len: u32::from_be_bytes([n0, n1, n2, n3]),
+        };
+        if !header.geometry_ok() {
+            return Err(WireError::BadFountain {
+                k: header.k,
+                symbol_len: header.symbol_len,
+                block_len: header.block_len,
+            });
+        }
+        Ok((header, rest))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,5 +558,68 @@ mod tests {
         );
         let msg = FragmentHeader::parse(&wire).unwrap_err().to_string();
         assert!(msg.contains("fragment 5 of 5"), "{msg}");
+    }
+
+    #[test]
+    fn fountain_header_roundtrip() {
+        let h = FountainHeader::new(3, 77, 12, 1200, 12 * 1200 - 5);
+        let mut wire = h.emit().to_vec();
+        wire.extend_from_slice(b"coded symbol payload");
+        let (parsed, body) =
+            FountainHeader::parse(&wire).expect("emitted fountain header must parse");
+        assert_eq!(parsed, h);
+        assert_eq!(body, b"coded symbol payload");
+    }
+
+    #[test]
+    fn fountain_header_rejects_short_buffers() {
+        for n in 0..FOUNTAIN_HEADER_LEN {
+            assert_eq!(
+                FountainHeader::parse(&vec![0u8; n]),
+                Err(WireError::Truncated {
+                    need: FOUNTAIN_HEADER_LEN,
+                    got: n
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn fountain_header_rejects_impossible_geometry() {
+        // All-zero bytes: k == 0.
+        assert_eq!(
+            FountainHeader::parse(&[0u8; FOUNTAIN_HEADER_LEN]),
+            Err(WireError::BadFountain {
+                k: 0,
+                symbol_len: 0,
+                block_len: 0
+            })
+        );
+        // symbol_len == 0 with plausible other fields.
+        let wire = FountainHeader::new(0, 0, 4, 0, 100).emit();
+        assert!(matches!(
+            FountainHeader::parse(&wire),
+            Err(WireError::BadFountain { symbol_len: 0, .. })
+        ));
+        // block_len too large for k symbols.
+        let wire = FountainHeader::new(0, 0, 4, 100, 401).emit();
+        assert!(matches!(
+            FountainHeader::parse(&wire),
+            Err(WireError::BadFountain { block_len: 401, .. })
+        ));
+        // block_len so small the last source symbol would be all pad.
+        let wire = FountainHeader::new(0, 0, 4, 100, 300).emit();
+        assert!(matches!(
+            FountainHeader::parse(&wire),
+            Err(WireError::BadFountain { block_len: 300, .. })
+        ));
+        // Boundary values are accepted: exactly full, and one into the
+        // final symbol.
+        assert!(FountainHeader::parse(&FountainHeader::new(0, 0, 4, 100, 400).emit()).is_ok());
+        assert!(FountainHeader::parse(&FountainHeader::new(0, 0, 4, 100, 301).emit()).is_ok());
+        let msg = FountainHeader::parse(&FountainHeader::new(0, 0, 4, 100, 401).emit())
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("k=4"), "{msg}");
     }
 }

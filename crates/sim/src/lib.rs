@@ -22,11 +22,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+//! * [`fountain`] — the third protocol scenario: each GOP rides LT
+//!   fountain symbols (`thrifty-fec`) instead of RTP/UDP or HTTP/TCP;
+//!   undecoded source symbols become counted erasures feeding the
+//!   distortion model.
+
 pub mod experiment;
+pub mod fountain;
 pub mod pipeline;
 pub mod sender;
 pub mod stats;
 
 pub use experiment::{Experiment, ExperimentConfig, ExperimentResult, Transport};
+pub use fountain::{run_pipeline_fountain, run_pipeline_fountain_metered, FountainConfig, FountainOutcome};
 pub use sender::{PacketRecord, SenderSim, SenderSummary};
 pub use stats::Summary;

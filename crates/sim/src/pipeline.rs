@@ -223,8 +223,9 @@ const SPS_FRAME: u32 = u32::MAX;
 /// Reserved fragment-header frame index carrying the PPS lead-in.
 const PPS_FRAME: u32 = u32::MAX - 1;
 
-/// The session key of the threat model's pre-established secret.
-const SESSION_KEY: [u8; 32] = [0x42u8; 32];
+/// The session key of the threat model's pre-established secret (shared
+/// with the fountain transport scenario in [`crate::fountain`]).
+pub(crate) const SESSION_KEY: [u8; 32] = [0x42u8; 32];
 /// An out-of-date key for the stale-key fault: same length, different bits.
 const STALE_KEY: [u8; 32] = [0xA5u8; 32];
 

@@ -44,6 +44,16 @@ timeout 600 ./target/release/reproduce faults --no-bench-json > "$tmp/faults_a.t
 timeout 600 ./target/release/reproduce faults --no-bench-json > "$tmp/faults_b.txt"
 cmp "$tmp/faults_a.txt" "$tmp/faults_b.txt"
 
+echo "==> fountain protocol-matrix smoke (self-verifying; double run must be byte-identical)"
+# UDP vs TCP vs LT-fountain across three loss points and four policies.
+# The binary exits non-zero on any self-check violation (a non-reproducible
+# cell, ΔPSNR below the lossless twin, a reliable-transport frame loss, or
+# the deep-fade goodput crossover failing to appear); `timeout` turns a
+# peeling or retransmission hang into exit 124.
+timeout 600 ./target/release/reproduce fountain --no-bench-json > "$tmp/fountain_a.txt"
+timeout 600 ./target/release/reproduce fountain --no-bench-json > "$tmp/fountain_b.txt"
+cmp "$tmp/fountain_a.txt" "$tmp/fountain_b.txt"
+
 echo "==> fleet --quick smoke gate (N=10^4 on the event calendar; hang fails as exit 124)"
 # One 10^4-flow cell on the discrete-event scale path, self-verified
 # (one event per packet, double-run bit-identity, physical delays).

@@ -8,8 +8,12 @@
 
 use proptest::prelude::*;
 use thrifty::net::tcp::TcpSegment;
-use thrifty::net::wire::{FragmentHeader, RtpHeader, RtpPacket, UdpHeader, RTP_HEADER_LEN};
+use thrifty::net::wire::{
+    FountainHeader, FragmentHeader, RtpHeader, RtpPacket, UdpHeader, FOUNTAIN_HEADER_LEN,
+    RTP_HEADER_LEN,
+};
 use thrifty::video::nal::{parse_annex_b, write_annex_b, NalUnit, NalUnitType};
+use thrifty_fec::{BlockEncoder, PeelingDecoder};
 
 proptest! {
     /// `RtpPacket::parse` (header + payload view) is total: any byte soup
@@ -174,6 +178,96 @@ proptest! {
         mutated.truncate(keep % (mutated.len() + 1));
         if let Ok(segment) = TcpSegment::parse(&mutated) {
             let _ = FragmentHeader::parse(&segment.payload);
+        }
+    }
+
+    /// `FountainHeader::parse` is total on arbitrary byte soup.
+    #[test]
+    fn fountain_header_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = FountainHeader::parse(&bytes);
+    }
+
+    /// Fountain emit→parse is the identity for valid geometry and returns
+    /// exactly the trailing symbol payload.
+    #[test]
+    fn fountain_header_roundtrip_is_identity(
+        block in any::<u32>(),
+        symbol_id in any::<u32>(),
+        k in 1u16..512,
+        symbol_len in 1u16..2048,
+        pad in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // block_len must land in ((k-1)·symbol_len, k·symbol_len].
+        let block_len = (k as u32 - 1) * symbol_len as u32 + 1 + pad % symbol_len as u32;
+        let header = FountainHeader::new(block, symbol_id, k, symbol_len, block_len);
+        let mut wire = header.emit().to_vec();
+        wire.extend_from_slice(&payload);
+        let (parsed, rest) = FountainHeader::parse(&wire).expect("emitted header must parse");
+        prop_assert_eq!(parsed, header);
+        prop_assert_eq!(rest, payload.as_slice());
+    }
+
+    /// Structured mutation: a *valid* fountain symbol with bit flips and/or
+    /// a truncated tail parses totally — corrupted symbols must degrade to
+    /// typed erasures, never panics, whatever field the damage lands in.
+    #[test]
+    fn mutated_valid_fountain_never_panics(
+        block in any::<u32>(),
+        symbol_id in any::<u32>(),
+        k in 1u16..512,
+        symbol_len in 1u16..2048,
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        flips in proptest::collection::vec(any::<u16>(), 0..16),
+        keep in any::<usize>(),
+    ) {
+        let header = FountainHeader::new(block, symbol_id, k, symbol_len, k as u32 * symbol_len as u32);
+        let mut mutated = header.emit().to_vec();
+        mutated.extend_from_slice(&payload);
+        for f in flips {
+            let len = mutated.len();
+            mutated[(f as usize >> 3) % len] ^= 1 << (f & 7);
+        }
+        mutated.truncate(keep % (mutated.len() + 1));
+        if let Ok((parsed, _rest)) = FountainHeader::parse(&mutated) {
+            // Whatever survives must still describe a realisable block; the
+            // parser's geometry gate is the decoder's only line of defence.
+            prop_assert!(parsed.k >= 1);
+            prop_assert!(parsed.symbol_len >= 1);
+            prop_assert_eq!(mutated.len() >= FOUNTAIN_HEADER_LEN, true);
+        }
+    }
+
+    /// Encoder→lossy channel→peeling decoder: under an arbitrary loss mask
+    /// the decoder never panics, and whenever the peel completes the
+    /// reassembled block is byte-identical to the source (pad stripped).
+    #[test]
+    fn fountain_roundtrip_survives_arbitrary_loss(
+        data in proptest::collection::vec(any::<u8>(), 1..600),
+        symbol_len in 1usize..48,
+        seed in any::<u64>(),
+        block in any::<u32>(),
+        lost in proptest::collection::vec(any::<bool>(), 0..256),
+    ) {
+        let enc = BlockEncoder::new(&data, symbol_len, seed, block).expect("valid encoder");
+        let k = enc.k();
+        let mut dec = PeelingDecoder::new(k, symbol_len, data.len(), seed, block)
+            .expect("valid decoder");
+        // Spray 3k symbols through the loss mask; the mask wraps so even a
+        // short vector exercises both delivery and erasure.
+        for id in 0..(3 * k as u32) {
+            if lost.get(id as usize % lost.len().max(1)).copied().unwrap_or(false) {
+                continue; // erased on the air
+            }
+            dec.push(id, &enc.encode(id));
+            if dec.is_complete() {
+                break;
+            }
+        }
+        prop_assert!(dec.recovered_count() <= k);
+        if dec.is_complete() {
+            let out = dec.into_data().expect("complete decode yields the block");
+            prop_assert_eq!(out, data);
         }
     }
 }

@@ -78,6 +78,7 @@ fn golden_snapshots_are_committed() {
         "table2",
         "headline",
         "ablation_d_percentiles",
+        "fountain_matrix",
     ] {
         assert!(
             dir.join(format!("{name}.json")).is_file(),
