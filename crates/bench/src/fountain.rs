@@ -58,7 +58,7 @@ const GOP: usize = 10;
 const IP_HEADER_LEN: usize = 20;
 /// Coded symbol payload length — small enough that a GOP block spans
 /// dozens of symbols, so burst dwells average out inside one block.
-const SYMBOL_LEN: usize = 500;
+pub(crate) const SYMBOL_LEN: usize = 500;
 /// TCP retransmission timeout fed to the §6.4 latency term and billed as
 /// an idle stall per timeout-driven resend (stop-and-wait recovery).
 const RTO_S: f64 = 0.01;
@@ -187,7 +187,7 @@ impl LossPoint {
 
 /// Static dispatch over the two loss channels (the trait is not
 /// object-safe: `transmit` is generic over the RNG).
-enum EitherChannel {
+pub(crate) enum EitherChannel {
     Iid(BernoulliChannel),
     Burst(GilbertElliottChannel),
 }
@@ -254,7 +254,7 @@ impl CellRun {
 
 /// The synthetic coded stream every cell transmits (deterministic; same
 /// shape as the fault matrix's).
-fn stream(frames: usize) -> Vec<InputFrame> {
+pub(crate) fn stream(frames: usize) -> Vec<InputFrame> {
     (0..frames)
         .map(|i| {
             let ftype = if i % GOP == 0 { FrameType::I } else { FrameType::P };
@@ -265,13 +265,13 @@ fn stream(frames: usize) -> Vec<InputFrame> {
 }
 
 /// Annex-B length of one frame — the media bytes a transport must carry.
-fn annex_b_len(frame: &InputFrame) -> usize {
+pub(crate) fn annex_b_len(frame: &InputFrame) -> usize {
     write_annex_b(std::slice::from_ref(&frame.nal)).len()
 }
 
 /// Source symbols per full GOP block at [`SYMBOL_LEN`] — the `k` the
 /// analytic overhead term is evaluated at.
-fn block_symbols(input: &[InputFrame]) -> usize {
+pub(crate) fn block_symbols(input: &[InputFrame]) -> usize {
     let block_len: usize = input.iter().take(GOP).map(annex_b_len).sum();
     block_len.div_ceil(SYMBOL_LEN)
 }
@@ -510,7 +510,7 @@ fn run_fountain(
 }
 
 /// Annex-B bytes of the byte-identically recovered frames.
-fn delivered_media_bytes(input: &[InputFrame], received: &[bool]) -> u64 {
+pub(crate) fn delivered_media_bytes(input: &[InputFrame], received: &[bool]) -> u64 {
     input
         .iter()
         .filter(|f| received.get(f.index).copied().unwrap_or(false))
@@ -573,7 +573,7 @@ fn model_delay_ms(
 
 /// PSNR of the concealed reconstruction implied by `received`, against a
 /// deterministic QCIF clip (the paper's concealment decoder, eq. (28)).
-fn concealed_psnr(clip: &[thrifty_video::yuv::YuvFrame], received: &[bool]) -> f64 {
+pub(crate) fn concealed_psnr(clip: &[thrifty_video::yuv::YuvFrame], received: &[bool]) -> f64 {
     let reconstructed = ConcealingDecoder.reconstruct(clip, received, GOP);
     measure_quality(clip, &reconstructed).psnr_of_mean_mse
 }

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod faults;
 pub mod fleet;
 pub mod fountain;
@@ -31,6 +32,7 @@ pub mod throughput;
 /// `thrifty_bench::parallel::par_map` call sites keep compiling.
 pub use thrifty_fleet::parallel;
 
+pub use chaos::{chaos_matrix, verify_chaos_matrix, StormClass};
 pub use faults::{fault_matrix, verify_fault_matrix, ChannelKind, FaultClass, TransportKind};
 pub use fountain::{fountain_matrix, verify_fountain_matrix, LossPoint, ProtocolKind};
 pub use fleet::{

@@ -24,11 +24,53 @@ pub struct RobustSoliton {
     cdf: Vec<f64>,
 }
 
+/// Why a [`RobustSoliton`] was rejected by
+/// [`try_new`](RobustSoliton::try_new).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SolitonError {
+    /// `k == 0`: the distribution needs at least one source symbol.
+    ZeroSymbols,
+    /// `c` was NaN, infinite, zero or negative.
+    BadC(f64),
+    /// `delta` was NaN or outside the open interval `(0, 1)`.
+    BadDelta(f64),
+}
+
+impl std::fmt::Display for SolitonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolitonError::ZeroSymbols => {
+                write!(f, "robust soliton needs at least one source symbol")
+            }
+            SolitonError::BadC(v) => write!(f, "robust soliton c {v} must be finite and > 0"),
+            SolitonError::BadDelta(v) => write!(f, "robust soliton delta {v} must be in (0, 1)"),
+        }
+    }
+}
+
+impl std::error::Error for SolitonError {}
+
 impl RobustSoliton {
+    /// The distribution for `k` source symbols, rejecting hostile
+    /// parameters with a typed error instead of a panic.
+    pub fn try_new(k: usize, c: f64, delta: f64) -> Result<Self, SolitonError> {
+        if k == 0 {
+            return Err(SolitonError::ZeroSymbols);
+        }
+        if !c.is_finite() || c <= 0.0 {
+            return Err(SolitonError::BadC(c));
+        }
+        if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+            return Err(SolitonError::BadDelta(delta));
+        }
+        Ok(Self::new(k, c, delta))
+    }
+
     /// The distribution for `k` source symbols with explicit parameters.
     ///
     /// # Panics
     /// Panics if `k == 0`, `c <= 0`, or `delta` is outside `(0, 1)`.
+    /// Prefer [`try_new`](Self::try_new) for untrusted input.
     pub fn new(k: usize, c: f64, delta: f64) -> Self {
         assert!(k >= 1, "robust soliton needs at least one source symbol");
         assert!(c > 0.0, "robust soliton c must be positive");
@@ -104,6 +146,39 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn try_new_rejects_hostile_parameters() {
+        assert!(matches!(
+            RobustSoliton::try_new(0, 0.1, 0.05),
+            Err(SolitonError::ZeroSymbols)
+        ));
+        assert!(matches!(
+            RobustSoliton::try_new(10, f64::NAN, 0.05),
+            Err(SolitonError::BadC(v)) if v.is_nan()
+        ));
+        assert!(matches!(
+            RobustSoliton::try_new(10, 0.0, 0.05),
+            Err(SolitonError::BadC(v)) if v == 0.0
+        ));
+        assert!(matches!(
+            RobustSoliton::try_new(10, -0.1, 0.05),
+            Err(SolitonError::BadC(v)) if v < 0.0
+        ));
+        assert!(matches!(
+            RobustSoliton::try_new(10, 0.1, f64::NAN),
+            Err(SolitonError::BadDelta(v)) if v.is_nan()
+        ));
+        assert!(matches!(
+            RobustSoliton::try_new(10, 0.1, 0.0),
+            Err(SolitonError::BadDelta(v)) if v == 0.0
+        ));
+        assert!(matches!(
+            RobustSoliton::try_new(10, 0.1, 1.0),
+            Err(SolitonError::BadDelta(v)) if v == 1.0
+        ));
+        assert!(RobustSoliton::try_new(10, 0.1, 0.05).is_ok());
+    }
 
     #[test]
     fn degenerate_k1_always_degree_one() {

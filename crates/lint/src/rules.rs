@@ -60,17 +60,17 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: DET_WALL_CLOCK,
         tier: "determinism",
-        summary: "SystemTime/Instant::now in sim, fleet, des, fec, queueing, telemetry or bench non-test code",
+        summary: "SystemTime/Instant::now in sim, fleet, des, fec, queueing, telemetry, recover or bench non-test code",
     },
     RuleInfo {
         name: DET_THREAD_RNG,
         tier: "determinism",
-        summary: "ambient thread_rng in sim, fleet, des, fec, queueing, telemetry or bench non-test code",
+        summary: "ambient thread_rng in sim, fleet, des, fec, queueing, telemetry, recover or bench non-test code",
     },
     RuleInfo {
         name: DET_HASH_COLLECTIONS,
         tier: "determinism",
-        summary: "HashMap/HashSet (hash-ordered iteration) in sim, fleet, des, fec, queueing, telemetry or bench non-test code",
+        summary: "HashMap/HashSet (hash-ordered iteration) in sim, fleet, des, fec, queueing, telemetry, recover or bench non-test code",
     },
     RuleInfo {
         name: PANIC_UNWRAP,
@@ -126,7 +126,8 @@ pub fn is_known_rule(name: &str) -> bool {
 
 /// Crates whose non-test code must be bit-deterministic. A relative path
 /// is in scope when it starts with `crates/<name>/src/`.
-const DET_CRATES: &[&str] = &["sim", "fleet", "queueing", "telemetry", "bench", "des", "fec"];
+const DET_CRATES: &[&str] =
+    &["sim", "fleet", "queueing", "telemetry", "bench", "des", "fec", "recover"];
 
 /// Wire-format / bitstream parser files: the panic-free and truncating-cast
 /// tiers apply to the non-test code of exactly these files.
@@ -135,6 +136,9 @@ const WIRE_FILES: &[&str] = &[
     "crates/video/src/nal.rs",
     "crates/video/src/bitstream.rs",
     "crates/fec/src/lt.rs",
+    "crates/recover/src/rto.rs",
+    "crates/recover/src/resync.rs",
+    "crates/recover/src/controller.rs",
 ];
 
 /// The deterministic crate a path belongs to, if any.

@@ -14,6 +14,7 @@
 //!   policy ordering.
 
 use rand::Rng;
+use thrifty_recover::RtoEstimator;
 
 /// TCP option kind we use for the encryption marker (experimental range).
 pub const MARKER_OPTION_KIND: u8 = 0xFE;
@@ -137,6 +138,29 @@ impl TcpSegment {
     }
 }
 
+/// Why a [`TcpLatencyModel`] was rejected by
+/// [`try_new`](TcpLatencyModel::try_new).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TcpModelError {
+    /// Loss probability was NaN or outside `[0, 1)`.
+    BadLossProbability(f64),
+    /// RTO was NaN, infinite, zero or negative.
+    BadRto(f64),
+}
+
+impl std::fmt::Display for TcpModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcpModelError::BadLossProbability(v) => {
+                write!(f, "segment loss probability {v} must be in [0, 1)")
+            }
+            TcpModelError::BadRto(v) => write!(f, "RTO {v} must be finite and > 0"),
+        }
+    }
+}
+
+impl std::error::Error for TcpModelError {}
+
 /// Loss/retransmission latency model for a TCP transfer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcpLatencyModel {
@@ -149,14 +173,28 @@ pub struct TcpLatencyModel {
 }
 
 impl TcpLatencyModel {
-    /// Build a model; panics on invalid loss probability.
-    pub fn new(loss_prob: f64, rto_s: f64) -> Self {
-        assert!((0.0..1.0).contains(&loss_prob), "loss must be in [0,1)");
-        assert!(rto_s > 0.0, "RTO must be positive");
-        TcpLatencyModel {
+    /// Build a model, rejecting NaN/out-of-range parameters with a typed
+    /// error instead of a panic.
+    pub fn try_new(loss_prob: f64, rto_s: f64) -> Result<Self, TcpModelError> {
+        if !loss_prob.is_finite() || !(0.0..1.0).contains(&loss_prob) {
+            return Err(TcpModelError::BadLossProbability(loss_prob));
+        }
+        if !rto_s.is_finite() || rto_s <= 0.0 {
+            return Err(TcpModelError::BadRto(rto_s));
+        }
+        Ok(TcpLatencyModel {
             loss_prob,
             rto_s,
             max_backoff: 6,
+        })
+    }
+
+    /// Build a model; panics on invalid parameters (prefer
+    /// [`try_new`](Self::try_new) for untrusted input).
+    pub fn new(loss_prob: f64, rto_s: f64) -> Self {
+        match Self::try_new(loss_prob, rto_s) {
+            Ok(model) => model,
+            Err(e) => panic!("invalid TcpLatencyModel: {e}"),
         }
     }
 
@@ -194,6 +232,37 @@ impl TcpLatencyModel {
             if attempt > 50 {
                 break; // pathological RNG stream; cap for safety
             }
+        }
+        delay
+    }
+
+    /// Sample the extra delay of a single segment with an **adaptive** RTO:
+    /// each wait is whatever `estimator` currently believes, every loss
+    /// feeds the estimator a timeout (doubling it, up to its cap), and a
+    /// **first-attempt** delivery feeds back `rtt_s` as an RTT sample
+    /// (Karn's rule: deliveries that needed a retransmission are skipped).
+    ///
+    /// The loss draws mirror [`sample_extra_delay_s`](Self::sample_extra_delay_s)
+    /// draw-for-draw, so a fixed-vs-adaptive comparison can replay the exact
+    /// same loss pattern from the same seed.
+    pub fn sample_extra_delay_adaptive_s<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        estimator: &mut RtoEstimator,
+        rtt_s: f64,
+    ) -> f64 {
+        let mut delay = 0.0;
+        let mut attempt = 0u32;
+        while rng.gen_bool(self.loss_prob) {
+            delay += estimator.rto_s();
+            estimator.on_timeout();
+            attempt += 1;
+            if attempt > 50 {
+                break; // pathological RNG stream; cap for safety
+            }
+        }
+        if attempt == 0 {
+            estimator.on_rtt_sample(rtt_s);
         }
         delay
     }
@@ -364,6 +433,68 @@ mod tests {
         // strictly more delay at the same loss rate.
         let uncapped = TcpLatencyModel::new(0.5, 0.05).expected_extra_delay_s();
         assert!(uncapped > analytic);
+    }
+
+    #[test]
+    fn try_new_rejects_hostile_parameters() {
+        assert!(matches!(
+            TcpLatencyModel::try_new(f64::NAN, 0.1),
+            Err(TcpModelError::BadLossProbability(v)) if v.is_nan()
+        ));
+        assert_eq!(
+            TcpLatencyModel::try_new(1.0, 0.1),
+            Err(TcpModelError::BadLossProbability(1.0))
+        );
+        assert_eq!(
+            TcpLatencyModel::try_new(-0.1, 0.1),
+            Err(TcpModelError::BadLossProbability(-0.1))
+        );
+        assert!(matches!(
+            TcpLatencyModel::try_new(0.1, f64::NAN),
+            Err(TcpModelError::BadRto(v)) if v.is_nan()
+        ));
+        assert_eq!(
+            TcpLatencyModel::try_new(0.1, f64::INFINITY),
+            Err(TcpModelError::BadRto(f64::INFINITY))
+        );
+        assert_eq!(TcpLatencyModel::try_new(0.1, 0.0), Err(TcpModelError::BadRto(0.0)));
+        assert_eq!(TcpLatencyModel::try_new(0.2, 0.1), Ok(TcpLatencyModel::new(0.2, 0.1)));
+    }
+
+    #[test]
+    fn adaptive_sampling_preserves_draw_cadence() {
+        use thrifty_recover::{RtoConfig, RtoEstimator};
+        let m = TcpLatencyModel::new(0.4, 0.05);
+        let mut rng_fixed = StdRng::seed_from_u64(7);
+        let mut rng_adaptive = StdRng::seed_from_u64(7);
+        let mut est = RtoEstimator::new(RtoConfig::default());
+        for _ in 0..1000 {
+            let _ = m.sample_extra_delay_s(&mut rng_fixed);
+            let _ = m.sample_extra_delay_adaptive_s(&mut rng_adaptive, &mut est, 0.02);
+        }
+        // Both streams consumed the same number of draws, so they agree on
+        // the next value.
+        let next_fixed: f64 = rng_fixed.gen_range(0.0..1.0);
+        let next_adaptive: f64 = rng_adaptive.gen_range(0.0..1.0);
+        assert_eq!(next_fixed.to_bits(), next_adaptive.to_bits());
+    }
+
+    #[test]
+    fn converged_adaptive_rto_stalls_less_than_pessimistic_fixed() {
+        use thrifty_recover::{RtoConfig, RtoEstimator};
+        // Fixed RTO of 250 ms on a path whose real RTT is 20 ms: the
+        // adaptive estimator converges down while staying capped at the
+        // fixed value, so its total stall is structurally no worse.
+        let m = TcpLatencyModel::new(0.3, 0.25);
+        let cfg = RtoConfig::try_new(0.25, 0.002, 0.25, 6).unwrap();
+        let mut est = RtoEstimator::new(cfg);
+        let mut rng_fixed = StdRng::seed_from_u64(11);
+        let mut rng_adaptive = StdRng::seed_from_u64(11);
+        let fixed: f64 = (0..5000).map(|_| m.sample_extra_delay_s(&mut rng_fixed)).sum();
+        let adaptive: f64 = (0..5000)
+            .map(|_| m.sample_extra_delay_adaptive_s(&mut rng_adaptive, &mut est, 0.02))
+            .sum();
+        assert!(adaptive < fixed, "adaptive {adaptive} vs fixed {fixed}");
     }
 
     #[test]

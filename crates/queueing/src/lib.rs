@@ -42,8 +42,8 @@ pub mod solver_n;
 
 pub use inversion::{euler_invert_cdf, Complex, WaitDistribution};
 pub use matrix::Matrix;
-pub use mmpp::Mmpp2;
+pub use mmpp::{Mmpp2, MmppError};
 pub use service::{ServiceComponent, ServiceDistribution};
 pub use simulate::{simulate_mmpp_g1, SimulatedQueueStats};
 pub use solver::{MmppG1, QueueSolution};
-pub use solver_n::{MmppN, MmppNG1, QueueSolutionN};
+pub use solver_n::{MmppN, MmppNError, MmppNG1, QueueSolutionN};

@@ -24,19 +24,67 @@ pub struct Mmpp2 {
     pub lambda2: f64,
 }
 
+/// Why an [`Mmpp2`] was rejected by [`try_new`](Mmpp2::try_new).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmppError {
+    /// A parameter was NaN or infinite.
+    NotFinite(&'static str),
+    /// A transition rate was zero or negative (the chain would not mix).
+    NonPositiveTransition(&'static str),
+    /// An arrival rate was negative.
+    NegativeRate(&'static str),
+}
+
+impl std::fmt::Display for MmppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmppError::NotFinite(what) => write!(f, "{what} must be finite"),
+            MmppError::NonPositiveTransition(what) => write!(f, "{what} must be > 0"),
+            MmppError::NegativeRate(what) => write!(f, "{what} must be >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for MmppError {}
+
 impl Mmpp2 {
-    /// Construct, validating positivity.
-    pub fn new(p1: f64, p2: f64, lambda1: f64, lambda2: f64) -> Self {
-        assert!(p1 > 0.0 && p2 > 0.0, "transition rates must be positive");
-        assert!(
-            lambda1 >= 0.0 && lambda2 >= 0.0,
-            "arrival rates must be nonnegative"
-        );
-        Mmpp2 {
+    /// Construct, rejecting NaN/infinite parameters, non-positive
+    /// transition rates and negative arrival rates with a typed error.
+    pub fn try_new(p1: f64, p2: f64, lambda1: f64, lambda2: f64) -> Result<Self, MmppError> {
+        for (what, v) in [
+            ("p1", p1),
+            ("p2", p2),
+            ("lambda1", lambda1),
+            ("lambda2", lambda2),
+        ] {
+            if !v.is_finite() {
+                return Err(MmppError::NotFinite(what));
+            }
+        }
+        for (what, v) in [("p1", p1), ("p2", p2)] {
+            if v <= 0.0 {
+                return Err(MmppError::NonPositiveTransition(what));
+            }
+        }
+        for (what, v) in [("lambda1", lambda1), ("lambda2", lambda2)] {
+            if v < 0.0 {
+                return Err(MmppError::NegativeRate(what));
+            }
+        }
+        Ok(Mmpp2 {
             p1,
             p2,
             lambda1,
             lambda2,
+        })
+    }
+
+    /// Construct, validating positivity; panics on invalid parameters
+    /// (prefer [`try_new`](Self::try_new) for untrusted input).
+    pub fn new(p1: f64, p2: f64, lambda1: f64, lambda2: f64) -> Self {
+        match Self::try_new(p1, p2, lambda1, lambda2) {
+            Ok(m) => m,
+            Err(e) => panic!("invalid Mmpp2: {e}"),
         }
     }
 
@@ -297,6 +345,39 @@ mod tests {
         // All one phase.
         let one_phase: Vec<(f64, bool)> = (0..100).map(|i| (i as f64, true)).collect();
         assert!(Mmpp2::fit_labeled(&one_phase).is_none());
+    }
+
+    #[test]
+    fn try_new_rejects_hostile_parameters() {
+        use MmppError::*;
+        assert_eq!(Mmpp2::try_new(f64::NAN, 6.0, 2000.0, 30.0), Err(NotFinite("p1")));
+        assert_eq!(
+            Mmpp2::try_new(200.0, f64::INFINITY, 2000.0, 30.0),
+            Err(NotFinite("p2"))
+        );
+        assert_eq!(
+            Mmpp2::try_new(200.0, 6.0, f64::NAN, 30.0),
+            Err(NotFinite("lambda1"))
+        );
+        assert_eq!(
+            Mmpp2::try_new(0.0, 6.0, 2000.0, 30.0),
+            Err(NonPositiveTransition("p1"))
+        );
+        assert_eq!(
+            Mmpp2::try_new(200.0, -1.0, 2000.0, 30.0),
+            Err(NonPositiveTransition("p2"))
+        );
+        assert_eq!(
+            Mmpp2::try_new(200.0, 6.0, -2000.0, 30.0),
+            Err(NegativeRate("lambda1"))
+        );
+        assert_eq!(
+            Mmpp2::try_new(200.0, 6.0, 2000.0, -30.0),
+            Err(NegativeRate("lambda2"))
+        );
+        assert_eq!(Mmpp2::try_new(200.0, 6.0, 2000.0, 30.0), Ok(bursty()));
+        // Zero arrival rates are legitimate (a silent phase).
+        assert!(Mmpp2::try_new(1.0, 1.0, 0.0, 0.0).is_ok());
     }
 
     #[test]

@@ -26,30 +26,118 @@ pub struct MmppN {
     pub rates: Vec<f64>,
 }
 
+/// Why an [`MmppN`] was rejected by [`try_new`](MmppN::try_new).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MmppNError {
+    /// The process needs at least one phase.
+    NoPhases,
+    /// Generator dimensions do not match the rate vector length.
+    ShapeMismatch {
+        /// Generator row count.
+        rows: usize,
+        /// Generator column count.
+        cols: usize,
+        /// Number of per-phase rates supplied.
+        phases: usize,
+    },
+    /// A generator entry or arrival rate was NaN or infinite.
+    NotFinite {
+        /// Row (or rate index) of the offending value.
+        row: usize,
+        /// Column of the offending value (`usize::MAX` for a rate).
+        col: usize,
+    },
+    /// An off-diagonal generator entry was negative.
+    NegativeOffDiagonal {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+    /// A generator row does not sum to zero.
+    RowSumNonZero(usize),
+    /// A per-phase arrival rate was negative.
+    NegativeRate(usize),
+}
+
+impl std::fmt::Display for MmppNError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmppNError::NoPhases => write!(f, "need at least one phase"),
+            MmppNError::ShapeMismatch { rows, cols, phases } => {
+                write!(f, "generator is {rows}x{cols} but {phases} rates were supplied")
+            }
+            MmppNError::NotFinite { row, col } => {
+                write!(f, "non-finite parameter at ({row}, {col})")
+            }
+            MmppNError::NegativeOffDiagonal { row, col } => {
+                write!(f, "off-diagonal rate at ({row}, {col}) must be nonnegative")
+            }
+            MmppNError::RowSumNonZero(i) => {
+                write!(f, "generator rows must sum to zero (row {i})")
+            }
+            MmppNError::NegativeRate(i) => write!(f, "arrival rate {i} must be nonnegative"),
+        }
+    }
+}
+
+impl std::error::Error for MmppNError {}
+
 impl MmppN {
-    /// Construct and validate.
-    ///
-    /// # Panics
-    /// On shape mismatch, negative off-diagonals/rates, or rows that do not
-    /// sum to zero.
-    pub fn new(generator: Matrix, rates: Vec<f64>) -> Self {
+    /// Construct, validating shape, finiteness, sign constraints and the
+    /// zero row-sum property with a typed error instead of a panic.
+    pub fn try_new(generator: Matrix, rates: Vec<f64>) -> Result<Self, MmppNError> {
         let n = rates.len();
-        assert!(n >= 1, "need at least one phase");
-        assert_eq!(generator.rows(), n, "generator shape");
-        assert_eq!(generator.cols(), n, "generator shape");
+        if n == 0 {
+            return Err(MmppNError::NoPhases);
+        }
+        if generator.rows() != n || generator.cols() != n {
+            return Err(MmppNError::ShapeMismatch {
+                rows: generator.rows(),
+                cols: generator.cols(),
+                phases: n,
+            });
+        }
         for i in 0..n {
             let mut row_sum = 0.0;
             for j in 0..n {
                 let q = generator[(i, j)];
-                if i != j {
-                    assert!(q >= 0.0, "off-diagonal rates must be nonnegative");
+                if !q.is_finite() {
+                    return Err(MmppNError::NotFinite { row: i, col: j });
+                }
+                if i != j && q < 0.0 {
+                    return Err(MmppNError::NegativeOffDiagonal { row: i, col: j });
                 }
                 row_sum += q;
             }
-            assert!(row_sum.abs() < 1e-9, "generator rows must sum to zero");
-            assert!(rates[i] >= 0.0, "arrival rates must be nonnegative");
+            if row_sum.abs() >= 1e-9 {
+                return Err(MmppNError::RowSumNonZero(i));
+            }
+            let rate = rates[i];
+            if !rate.is_finite() {
+                return Err(MmppNError::NotFinite {
+                    row: i,
+                    col: usize::MAX,
+                });
+            }
+            if rate < 0.0 {
+                return Err(MmppNError::NegativeRate(i));
+            }
         }
-        MmppN { generator, rates }
+        Ok(MmppN { generator, rates })
+    }
+
+    /// Construct and validate.
+    ///
+    /// # Panics
+    /// On shape mismatch, non-finite/negative off-diagonals or rates, or
+    /// rows that do not sum to zero. Prefer [`try_new`](Self::try_new) for
+    /// untrusted input.
+    pub fn new(generator: Matrix, rates: Vec<f64>) -> Self {
+        match Self::try_new(generator, rates) {
+            Ok(m) => m,
+            Err(e) => panic!("invalid MmppN: {e}"),
+        }
     }
 
     /// Number of phases.
@@ -299,6 +387,48 @@ mod tests {
     fn assert_rel(a: f64, b: f64, rel: f64, what: &str) {
         let denom = b.abs().max(1e-300);
         assert!((a - b).abs() / denom < rel, "{what}: {a} vs {b}");
+    }
+
+    #[test]
+    fn try_new_rejects_hostile_parameters() {
+        use MmppNError::*;
+        assert_eq!(MmppN::try_new(Matrix::zeros(0, 0), vec![]).err(), Some(NoPhases));
+        assert_eq!(
+            MmppN::try_new(Matrix::zeros(2, 2), vec![1.0]).err(),
+            Some(ShapeMismatch {
+                rows: 2,
+                cols: 2,
+                phases: 1
+            })
+        );
+        let nan_gen = Matrix::from_rows(&[&[f64::NAN, 0.0], &[0.0, 0.0]]);
+        assert_eq!(
+            MmppN::try_new(nan_gen, vec![1.0, 1.0]).err(),
+            Some(NotFinite { row: 0, col: 0 })
+        );
+        let neg_off = Matrix::from_rows(&[&[1.0, -1.0], &[0.0, 0.0]]);
+        assert_eq!(
+            MmppN::try_new(neg_off, vec![1.0, 1.0]).err(),
+            Some(NegativeOffDiagonal { row: 0, col: 1 })
+        );
+        let bad_sum = Matrix::from_rows(&[&[-1.0, 2.0], &[1.0, -1.0]]);
+        assert_eq!(
+            MmppN::try_new(bad_sum, vec![1.0, 1.0]).err(),
+            Some(RowSumNonZero(0))
+        );
+        let ok_gen = Matrix::from_rows(&[&[-1.0, 1.0], &[1.0, -1.0]]);
+        assert_eq!(
+            MmppN::try_new(ok_gen.clone(), vec![1.0, f64::NAN]).err(),
+            Some(NotFinite {
+                row: 1,
+                col: usize::MAX
+            })
+        );
+        assert_eq!(
+            MmppN::try_new(ok_gen.clone(), vec![1.0, -2.0]).err(),
+            Some(NegativeRate(1))
+        );
+        assert!(MmppN::try_new(ok_gen, vec![1.0, 2.0]).is_ok());
     }
 
     #[test]

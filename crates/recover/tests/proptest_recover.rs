@@ -1,0 +1,230 @@
+//! Property suite pinning the two invariants the chaos soak gate relies on:
+//!
+//! * **Controller no-flap** — a distress signal confined to a hysteresis
+//!   band never toggles the policy rung, whatever its order or length, and
+//!   monotone distress never produces a flap. The soak matrix's
+//!   "controller flaps == 0" gate is a live re-check of this property.
+//! * **RTO estimator bounds** — `rto_s()` stays finite inside
+//!   `[min_rto_s, max_rto_s]` under arbitrary interleavings of samples and
+//!   timeouts (hostile samples included), consecutive timeouts never
+//!   shrink it, and it saturates once the backoff cap binds.
+
+use proptest::prelude::*;
+use thrifty_recover::{
+    ControllerConfig, DegradationController, PolicyRung, RtoConfig, RtoEstimator,
+};
+
+/// A randomly placed — but always valid — controller config, so the band
+/// properties are not accidents of the default thresholds.
+fn controller_config(
+    exit_d: f64,
+    gap_d: f64,
+    exit_i: f64,
+    gap_i: f64,
+    dwell: u32,
+) -> ControllerConfig {
+    // Construct ordered thresholds by stacking strictly positive gaps.
+    let exit_degraded = exit_d;
+    let enter_degraded = exit_degraded + gap_d;
+    let exit_ionly = enter_degraded.max(exit_i);
+    let enter_ionly = exit_ionly + gap_i;
+    ControllerConfig::try_new(enter_degraded, exit_degraded, enter_ionly, exit_ionly, dwell)
+        .expect("stacked gaps always give a valid ladder")
+}
+
+/// Interpolate into the open interval `(lo, hi)`.
+fn in_band(lo: f64, hi: f64, t: f64) -> f64 {
+    let t = t.clamp(0.01, 0.99);
+    lo + (hi - lo) * t
+}
+
+proptest! {
+    /// Signals inside the Full/Degraded hysteresis band never move a
+    /// controller off `Full` — zero transitions, zero flaps, regardless of
+    /// where the band sits or how the signal dances inside it.
+    #[test]
+    fn full_rung_ignores_in_band_noise(
+        exit_d in 0.01f64..0.2,
+        gap_d in 0.02f64..0.2,
+        exit_i in 0.3f64..0.5,
+        gap_i in 0.02f64..0.3,
+        dwell in 1u32..5,
+        signal in proptest::collection::vec(0.0f64..1.0, 0..200),
+    ) {
+        let cfg = controller_config(exit_d, gap_d, exit_i, gap_i, dwell);
+        let mut c = DegradationController::new(cfg);
+        for t in &signal {
+            let d = in_band(cfg.exit_degraded, cfg.enter_degraded, *t);
+            prop_assert_eq!(c.observe(d), PolicyRung::Full);
+        }
+        prop_assert_eq!(c.transitions(), 0);
+        prop_assert_eq!(c.flaps(), 0);
+    }
+
+    /// Once on `Degraded`, signals inside the open corridor
+    /// `(exit_degraded, enter_ionly)` freeze the rung there.
+    #[test]
+    fn degraded_rung_ignores_in_corridor_noise(
+        exit_d in 0.01f64..0.2,
+        gap_d in 0.02f64..0.2,
+        exit_i in 0.3f64..0.5,
+        gap_i in 0.02f64..0.3,
+        dwell in 1u32..5,
+        signal in proptest::collection::vec(0.0f64..1.0, 0..200),
+    ) {
+        let cfg = controller_config(exit_d, gap_d, exit_i, gap_i, dwell);
+        let mut c = DegradationController::new(cfg);
+        // Drive to Degraded with distress that is above enter_degraded but
+        // below enter_ionly, then let the dwell expire.
+        let push = in_band(cfg.enter_degraded, cfg.enter_ionly, 0.5);
+        let hold = in_band(cfg.exit_degraded, cfg.enter_ionly, 0.5);
+        for _ in 0..=(cfg.min_dwell as usize * 2) {
+            c.observe(push);
+        }
+        for _ in 0..cfg.min_dwell {
+            c.observe(hold);
+        }
+        prop_assert_eq!(c.rung(), PolicyRung::Degraded);
+        let settled = c.transitions();
+        for t in &signal {
+            let d = in_band(cfg.exit_degraded, cfg.enter_ionly, *t);
+            prop_assert_eq!(c.observe(d), PolicyRung::Degraded);
+        }
+        prop_assert_eq!(c.transitions(), settled);
+        prop_assert_eq!(c.flaps(), 0);
+    }
+
+    /// A monotone nondecreasing distress history can only walk the ladder
+    /// one way, so it can never register a flap — and the rung it settles
+    /// on is stable at the final signal level whenever that level is
+    /// outside both bands.
+    #[test]
+    fn monotone_distress_never_flaps(
+        raw in proptest::collection::vec(0.0f64..1.0, 1..200),
+        dwell in 1u32..4,
+    ) {
+        let cfg = ControllerConfig::try_new(0.10, 0.04, 0.35, 0.20, dwell)
+            .expect("default-shaped ladder");
+        let mut signal = raw;
+        signal.sort_by(|a, b| a.partial_cmp(b).expect("strategy yields no NaN"));
+        let mut c = DegradationController::new(cfg);
+        for &d in &signal {
+            c.observe(d);
+        }
+        prop_assert_eq!(c.flaps(), 0);
+        prop_assert!(c.transitions() <= 2, "three rungs admit two one-way steps");
+    }
+
+    /// Arbitrary (even hostile) distress values never panic the
+    /// controller, never move it more than one rung per observation, and
+    /// leave every counter consistent.
+    #[test]
+    fn arbitrary_signals_keep_the_controller_sane(
+        raw in proptest::collection::vec((0u8..6, 0.0f64..1.0), 0..200),
+    ) {
+        let mut c = DegradationController::new(ControllerConfig::default());
+        let mut prev = c.rung().index() as i64;
+        for &(kind, v) in &raw {
+            // Mix in out-of-range and NaN probes alongside honest values.
+            let d = match kind {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => -v - 1.0,
+                3 => v + 1.5,
+                _ => v,
+            };
+            let rung = c.observe(d).index() as i64;
+            prop_assert!((rung - prev).abs() <= 1, "one step per observation");
+            prev = rung;
+        }
+        prop_assert_eq!(c.observations(), raw.len() as u64);
+        prop_assert!(c.flaps() <= c.transitions());
+    }
+
+    /// Under any interleaving of RTT samples (hostile ones included) and
+    /// timeouts, the produced RTO is finite and stays inside the
+    /// configured `[min, max]` bounds.
+    #[test]
+    fn rto_stays_finite_and_bounded(
+        min_ms in 0.5f64..5.0,
+        initial_x in 1.0f64..10.0,
+        max_x in 1.0f64..50.0,
+        max_backoff in 0u32..10,
+        ops in proptest::collection::vec((0u8..4, 0.0f64..2.0), 0..200),
+    ) {
+        let min = min_ms / 1e3;
+        let initial = min * initial_x;
+        let max = initial * max_x;
+        let cfg = RtoConfig::try_new(initial, min, max, max_backoff)
+            .expect("stacked multipliers always give ordered bounds");
+        let mut e = RtoEstimator::new(cfg);
+        for &(kind, v) in &ops {
+            match kind {
+                0 => e.on_timeout(),
+                1 => e.on_rtt_sample(f64::NAN),
+                2 => e.on_rtt_sample(-v),
+                _ => e.on_rtt_sample(v),
+            }
+            let rto = e.rto_s();
+            prop_assert!(rto.is_finite());
+            prop_assert!(rto >= cfg.min_rto_s - 1e-12, "rto {rto} under min");
+            prop_assert!(rto <= cfg.max_rto_s + 1e-12, "rto {rto} over max");
+            prop_assert!(e.backoff() <= cfg.max_backoff);
+        }
+    }
+
+    /// From any reachable estimator state, consecutive timeouts are
+    /// monotone nondecreasing in RTO, and once the backoff cap is reached
+    /// the RTO saturates exactly.
+    #[test]
+    fn timeouts_are_monotone_and_saturate(
+        warmup in proptest::collection::vec((any::<bool>(), 0.001f64..1.0), 0..50),
+        max_backoff in 0u32..8,
+    ) {
+        let cfg = RtoConfig::try_new(0.05, 0.002, 60.0, max_backoff)
+            .expect("wide static bounds are valid");
+        let mut e = RtoEstimator::new(cfg);
+        for &(timeout, rtt) in &warmup {
+            if timeout {
+                e.on_timeout();
+            } else {
+                e.on_rtt_sample(rtt);
+            }
+        }
+        let mut last = e.rto_s();
+        for _ in 0..(max_backoff as usize + 4) {
+            e.on_timeout();
+            let now = e.rto_s();
+            prop_assert!(now >= last - 1e-15, "timeout shrank the RTO: {now} < {last}");
+            last = now;
+        }
+        // The cap is now pinned: further timeouts change nothing at all.
+        let saturated = e.rto_s();
+        e.on_timeout();
+        e.on_timeout();
+        prop_assert_eq!(e.backoff(), cfg.max_backoff);
+        prop_assert!(e.rto_s() == saturated, "saturated RTO must be bit-stable");
+    }
+
+    /// A valid first-attempt sample always collapses the backoff, so the
+    /// post-sample RTO never exceeds the pre-timeout-storm RTO scaled by
+    /// the sample's own contribution — concretely: sample, then storm,
+    /// then sample again returns backoff to zero.
+    #[test]
+    fn fresh_samples_collapse_backoff(
+        rtt in 0.001f64..0.5,
+        storms in 1u32..12,
+    ) {
+        let mut e = RtoEstimator::new(RtoConfig::default());
+        e.on_rtt_sample(rtt);
+        for _ in 0..storms {
+            e.on_timeout();
+        }
+        prop_assert!(e.backoff() > 0);
+        e.on_rtt_sample(rtt);
+        prop_assert_eq!(e.backoff(), 0);
+        let base = e.rto_s();
+        e.on_timeout();
+        prop_assert!(e.rto_s() >= base, "first doubling starts from the base again");
+    }
+}

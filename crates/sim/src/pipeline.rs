@@ -37,6 +37,7 @@ use thrifty_crypto::SegmentCipher;
 use thrifty_faults::{FaultPlan, FaultStats, PacketInjector, QueueFaults, ReceiverFaults};
 use thrifty_net::wire::{FragmentHeader, RtpHeader, RtpPacket, FRAG_HEADER_LEN, RTP_HEADER_LEN};
 use thrifty_net::{GilbertElliottChannel, LossChannel};
+use thrifty_recover::{DesyncKind, RecoveryReport, ResyncProtocol};
 use thrifty_video::bitstream::{PictureParameterSet, SequenceParameterSet};
 use thrifty_video::nal::{parse_annex_b, write_annex_b, NalUnit, NalUnitType};
 use thrifty_video::FrameType;
@@ -60,6 +61,38 @@ pub enum AirChannel {
     },
 }
 
+/// Receiver-side recovery: turn stale-key hits into bounded re-key +
+/// decoder-resync episodes instead of isolated per-packet garbage.
+///
+/// With recovery enabled, the first stale-key hit *desynchronises* the
+/// receiver: it keeps decrypting with the out-of-date key (garbage) while a
+/// re-key handshake of [`handshake_packets`](Self::handshake_packets)
+/// received packets runs, then resynchronises at the next I-frame (spotted
+/// from the cleartext fragment header using
+/// [`gop_hint`](Self::gop_hint)). Each episode's length in received packets
+/// is measured and reported in [`PipelineOutcome::recovery`].
+///
+/// The tracking is passive with respect to randomness — the stale-key site
+/// draws exactly as without recovery — so enabling it never perturbs the
+/// seeded loss/corruption streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryOptions {
+    /// Re-key handshake length, counted in received packets (must be ≥ 1
+    /// for the damaged anchor itself not to count as the resync point).
+    pub handshake_packets: u64,
+    /// GOP length hint for spotting I-frames (frame index ≡ 0 mod hint).
+    pub gop_hint: usize,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            handshake_packets: 16,
+            gop_hint: 10,
+        }
+    }
+}
+
 /// Configuration of a pipeline run.
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
@@ -81,6 +114,9 @@ pub struct PipelineConfig {
     pub reorder_window: usize,
     /// The loss process on the air.
     pub channel: AirChannel,
+    /// Receiver-side recovery; `None` (the default) reproduces the
+    /// historical per-packet stale-key behaviour byte for byte.
+    pub recovery: Option<RecoveryOptions>,
 }
 
 impl Default for PipelineConfig {
@@ -96,6 +132,7 @@ impl Default for PipelineConfig {
             queue_depth: 8,
             reorder_window: 0,
             channel: AirChannel::Iid,
+            recovery: None,
         }
     }
 }
@@ -216,6 +253,9 @@ pub struct PipelineOutcome {
     /// Frames dropped at the bounded queue before ever reaching the
     /// encryptor (queue-overflow fault).
     pub frames_dropped_at_queue: Vec<usize>,
+    /// Stale-key recovery episodes measured at the receiver; present iff
+    /// [`PipelineConfig::recovery`] was set.
+    pub recovery: Option<RecoveryReport>,
 }
 
 /// Reserved fragment-header frame index carrying the SPS lead-in.
@@ -480,12 +520,20 @@ pub fn run_pipeline_faulty(
     // headers, undecryptable payloads — is absorbed as a counted erasure.
     /// Per-frame fragment store: frame index → fragment number → bytes.
     type FragmentStore = Arc<Mutex<BTreeMap<usize, BTreeMap<u16, Vec<u8>>>>>;
+    /// Live resync bookkeeping: the protocol plus the receive-packet clock
+    /// driving it (ticks are received packets, a deterministic unit).
+    struct ResyncState {
+        protocol: ResyncProtocol,
+        gop_hint: usize,
+        tick: u64,
+    }
     /// The receiver's decryption context: the session cipher, the plan's
     /// stale-key site and the out-of-date cipher it swaps in on a hit.
     struct DecryptContext {
         cipher: thrifty_crypto::MeteredSegmentCipher,
         faults: ReceiverFaults,
         stale_cipher: SegmentCipher,
+        resync: Option<ResyncState>,
     }
     fn observe(
         rx: channel::Receiver<Vec<u8>>,
@@ -493,7 +541,7 @@ pub fn run_pipeline_faulty(
         out: FragmentStore,
         totals: Arc<Mutex<BTreeMap<usize, u16>>>,
         erasure_counter: thrifty_telemetry::Counter,
-    ) -> std::thread::JoinHandle<(ErasureStats, FaultStats)> {
+    ) -> std::thread::JoinHandle<(ErasureStats, FaultStats, Option<RecoveryReport>)> {
         std::thread::spawn(move || {
             let mut erasures = ErasureStats::default();
             while let Ok(wire) = rx.recv() {
@@ -504,6 +552,23 @@ pub fn run_pipeline_faulty(
                 };
                 let header = pkt.header();
                 let mut payload = pkt.payload().to_vec();
+                // Advance the resync clock on every received packet. The
+                // fragment header is deliberately cleartext (the cipher
+                // applies past FRAG_HEADER_LEN), so I-frame anchors are
+                // spotted here, before any decryption outcome.
+                if let Some(rs) = decrypt.as_mut().and_then(|ctx| ctx.resync.as_mut()) {
+                    rs.tick += 1;
+                    rs.protocol.on_tick(rs.tick);
+                    if let Ok((fh, _)) = FragmentHeader::parse(&payload) {
+                        let reserved = fh.frame == SPS_FRAME || fh.frame == PPS_FRAME;
+                        if !reserved
+                            && rs.gop_hint > 0
+                            && (fh.frame as usize).is_multiple_of(rs.gop_hint)
+                        {
+                            rs.protocol.on_i_frame(rs.tick);
+                        }
+                    }
+                }
                 if header.marker {
                     match &mut decrypt {
                         Some(ctx) => {
@@ -514,7 +579,23 @@ pub fn run_pipeline_faulty(
                                 continue;
                             }
                             let body = &mut payload[FRAG_HEADER_LEN..];
-                            if ctx.faults.stale_hit() {
+                            // Always drawn, so arming recovery never shifts
+                            // the site's seeded stream.
+                            let hit = ctx.faults.stale_hit();
+                            let use_stale = match &mut ctx.resync {
+                                None => hit,
+                                Some(rs) => {
+                                    if hit {
+                                        rs.protocol.on_desync(DesyncKind::StaleKey, rs.tick);
+                                    }
+                                    // While resyncing the receiver's key
+                                    // material is stale for *every* marked
+                                    // packet until the handshake completes.
+                                    rs.protocol.is_resyncing()
+                                        && !rs.protocol.key_is_fresh(rs.tick)
+                                }
+                            };
+                            if use_stale {
                                 // Out-of-date key: decryption "succeeds"
                                 // but produces garbage, which the Annex-B
                                 // reassembly rejects downstream.
@@ -545,10 +626,15 @@ pub fn run_pipeline_faulty(
                     .or_default()
                     .insert(frag_header.frag, body.to_vec());
             }
-            let faults = decrypt
-                .map(|ctx| ctx.faults.stats())
+            let (faults, recovery) = decrypt
+                .map(|ctx| {
+                    (
+                        ctx.faults.stats(),
+                        ctx.resync.map(|rs| rs.protocol.report()),
+                    )
+                })
                 .unwrap_or_default();
-            (erasures, faults)
+            (erasures, faults, recovery)
         })
     }
 
@@ -562,6 +648,11 @@ pub fn run_pipeline_faulty(
             cipher: cipher.metered(metrics),
             faults: ReceiverFaults::new(plan, metrics),
             stale_cipher,
+            resync: config.recovery.map(|opts| ResyncState {
+                protocol: ResyncProtocol::new(opts.handshake_packets.max(1)),
+                gop_hint: opts.gop_hint,
+                tick: 0,
+            }),
         }),
         rx_frames.clone(),
         rx_totals.clone(),
@@ -580,9 +671,9 @@ pub fn run_pipeline_faulty(
         producer.join().map_err(|_| stage("producer"))?;
     let (packets_sent, packets_encrypted) = encryptor.join().map_err(|_| stage("encryptor"))?;
     let air_stats = air.join().map_err(|_| stage("air"))?;
-    let (receiver_erasures, receiver_fault_stats) =
+    let (receiver_erasures, receiver_fault_stats, recovery) =
         rx_thread.join().map_err(|_| stage("receiver"))?;
-    let (eavesdropper_erasures, _) = eve_thread.join().map_err(|_| stage("eavesdropper"))?;
+    let (eavesdropper_erasures, _, _) = eve_thread.join().map_err(|_| stage("eavesdropper"))?;
 
     let mut faults = FaultStats::default();
     faults.merge(&queue_stats);
@@ -654,6 +745,7 @@ pub fn run_pipeline_faulty(
         receiver_erasures,
         eavesdropper_erasures,
         frames_dropped_at_queue,
+        recovery,
     })
 }
 
@@ -980,6 +1072,86 @@ mod tests {
             out.receiver.frames_ok.len() < 20,
             "garbage plaintext must damage frames"
         );
+    }
+
+    #[test]
+    fn recovery_disabled_reports_nothing_and_changes_nothing() {
+        let cfg = config(EncryptionMode::All, 0.1);
+        let plan = FaultPlan::none(77).with_stale_key(0.2);
+        let base = run_pipeline_faulty(frames(40, 10), cfg, &plan, &metrics_off())
+            .expect("baseline run");
+        assert!(base.recovery.is_none(), "no recovery configured, none reported");
+        // An empty plan with recovery armed sees no desyncs: the report is
+        // present but empty, and the reconstruction matches the plain path.
+        let armed = PipelineConfig {
+            recovery: Some(RecoveryOptions::default()),
+            ..cfg
+        };
+        let clean = run_pipeline_faulty(frames(40, 10), armed, &FaultPlan::none(77), &metrics_off())
+            .expect("clean run with recovery armed");
+        let plain = run_pipeline(frames(40, 10), cfg);
+        let report = clean.recovery.expect("armed recovery always reports");
+        assert!(report.episodes.is_empty());
+        assert!(report.open.is_none());
+        assert_eq!(clean.receiver.frames_ok, plain.receiver.frames_ok);
+        assert_eq!(clean.receiver.frames_damaged, plain.receiver.frames_damaged);
+    }
+
+    #[test]
+    fn stale_storm_with_recovery_yields_bounded_episodes() {
+        let cfg = PipelineConfig {
+            recovery: Some(RecoveryOptions {
+                handshake_packets: 8,
+                gop_hint: 10,
+            }),
+            ..config(EncryptionMode::All, 0.0)
+        };
+        let plan = FaultPlan::none(21).with_stale_key(0.05);
+        let out = run_pipeline_faulty(frames(80, 10), cfg, &plan, &metrics_off())
+            .expect("stale storm with recovery");
+        assert!(out.faults.stale_key_hits > 0, "the storm must bite");
+        let report = out.recovery.expect("recovery armed");
+        assert!(
+            !report.episodes.is_empty() || report.open.is_some(),
+            "hits must open episodes"
+        );
+        // Each GOP here is one 15 kB I-frame (11 fragments) plus nine 900 B
+        // P-frames: ~20 packets. A closed episode spans at most the
+        // handshake plus the wait for the next anchor — bound it by two
+        // full GOPs of packets plus the handshake, with margin.
+        let bound = 8 + 3 * 20;
+        for episode in &report.episodes {
+            assert!(
+                episode.duration() <= bound,
+                "episode of {} packets exceeds bound {bound}",
+                episode.duration()
+            );
+        }
+        // Damage concentrates in episodes instead of isolated packets, but
+        // the stream always recovers: later frames come through intact.
+        assert!(!out.receiver.frames_ok.is_empty());
+    }
+
+    #[test]
+    fn recovery_runs_are_bit_reproducible() {
+        let cfg = PipelineConfig {
+            recovery: Some(RecoveryOptions::default()),
+            ..config(EncryptionMode::All, 0.05)
+        };
+        let plan = FaultPlan::none(5150)
+            .with_stale_key(0.1)
+            .with_corruption(0.05, Region::Anywhere, 4);
+        let run = || {
+            let out = run_pipeline_faulty(frames(50, 10), cfg, &plan, &metrics_off())
+                .expect("recovery run");
+            (
+                out.receiver.frames_ok.clone(),
+                out.receiver.frames_damaged.clone(),
+                out.faults,
+                out.recovery.clone(),
+            )
+        };
+        assert_eq!(run(), run(), "same seed + plan + recovery ⇒ identical outcome");
     }
 
     #[test]

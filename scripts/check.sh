@@ -54,6 +54,17 @@ timeout 600 ./target/release/reproduce fountain --no-bench-json > "$tmp/fountain
 timeout 600 ./target/release/reproduce fountain --no-bench-json > "$tmp/fountain_b.txt"
 cmp "$tmp/fountain_a.txt" "$tmp/fountain_b.txt"
 
+echo "==> chaos soak smoke (self-verifying; double run must be byte-identical)"
+# Fault storms across all three transports with the recovery layer armed.
+# The binary exits non-zero on any recover-gate violation (an unbounded
+# recovery episode, a controller flap, adaptive-RTO goodput below the
+# fixed-RTO baseline, a non-reproducible cell, or ΔPSNR regressing against
+# the clean twin); `timeout` turns a resync or retransmission hang into
+# exit 124.
+timeout 600 ./target/release/reproduce chaos --quick --no-bench-json > "$tmp/chaos_a.txt"
+timeout 600 ./target/release/reproduce chaos --quick --no-bench-json > "$tmp/chaos_b.txt"
+cmp "$tmp/chaos_a.txt" "$tmp/chaos_b.txt"
+
 echo "==> fleet --quick smoke gate (N=10^4 on the event calendar; hang fails as exit 124)"
 # One 10^4-flow cell on the discrete-event scale path, self-verified
 # (one event per packet, double-run bit-identity, physical delays).

@@ -88,6 +88,28 @@ impl Args {
         self.flags.get(key).cloned().unwrap_or_else(|| default.into())
     }
 
+    /// Reject options the command does not understand — a typo must fail
+    /// loudly, not silently fall back to a default.
+    fn expect_only(&self, command: &str, flags: &[&str], switches: &[&str]) -> Result<(), String> {
+        let mut unknown: Vec<String> = self
+            .flags
+            .keys()
+            .filter(|k| !flags.contains(&k.as_str()))
+            .cloned()
+            .collect();
+        unknown.extend(
+            self.switches
+                .iter()
+                .filter(|s| !switches.contains(&s.as_str()))
+                .cloned(),
+        );
+        unknown.sort();
+        match unknown.first() {
+            Some(key) => Err(format!("unknown option '--{key}' for '{command}'")),
+            None => Ok(()),
+        }
+    }
+
     fn has(&self, switch: &str) -> bool {
         self.switches.iter().any(|s| s == switch)
     }
@@ -245,10 +267,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    const COMMON: [&str; 4] = ["motion", "gop", "device", "cipher"];
+    fn with_common(extra: &[&'static str]) -> Vec<&'static str> {
+        COMMON.iter().chain(extra).copied().collect()
+    }
     let result = match command.as_str() {
-        "advise" => advise(&args),
-        "predict" => predict(&args),
-        "experiment" => experiment(&args),
+        "advise" => args
+            .expect_only("advise", &with_common(&["privacy"]), &[])
+            .and_then(|()| advise(&args)),
+        "predict" => args
+            .expect_only("predict", &with_common(&["mode"]), &["percentiles", "tcp"])
+            .and_then(|()| predict(&args)),
+        "experiment" => args
+            .expect_only(
+                "experiment",
+                &with_common(&["mode", "trials", "frames"]),
+                &["tcp"],
+            )
+            .and_then(|()| experiment(&args)),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
