@@ -5,6 +5,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
+
+pub use pool::{BufferPool, PoolStats, PooledBuf};
+
 /// Sink for serialising integers and slices, mirroring `bytes::BufMut`.
 pub trait BufMut {
     /// Append one byte.

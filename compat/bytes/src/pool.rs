@@ -1,0 +1,313 @@
+//! A small fixed-population buffer pool for zero-copy packet paths.
+//!
+//! The sim pipeline assembles each RTP packet once — header space, fragment
+//! header, payload — encrypts it in place, and sends the *same allocation*
+//! through the channel. [`BufferPool`] supplies those allocations and takes
+//! them back when a [`PooledBuf`] drops (e.g. a packet lost on the air), so
+//! a steady-state run recycles a handful of buffers instead of allocating
+//! per packet. [`PooledBuf::into_vec`] detaches the allocation (a `Vec`
+//! move, no byte copy) for consumers that need an owned `Vec<u8>`.
+//!
+//! The pool never blocks and never fails: when every pooled buffer is out
+//! in flight, [`acquire`](BufferPool::acquire) falls back to a fresh heap
+//! allocation (counted in [`PoolStats::fallback_allocs`]) whose bytes are
+//! returned to the free list on drop only while the list is below the
+//! pool's population cap.
+
+use std::sync::{Arc, Mutex};
+
+/// Occupancy counters for pool behaviour tests and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out that came from the free list.
+    pub reused: u64,
+    /// Buffers handed out by allocating because the free list was empty.
+    pub fallback_allocs: u64,
+    /// Buffers returned to the free list on drop.
+    pub returned: u64,
+}
+
+struct PoolInner {
+    free: Mutex<Vec<Vec<u8>>>,
+    stats: Mutex<PoolStats>,
+    /// Free-list population cap; extra returns are simply freed.
+    capacity: usize,
+}
+
+impl PoolInner {
+    fn lock_free(&self) -> std::sync::MutexGuard<'_, Vec<Vec<u8>>> {
+        // A panic while holding the lock poisons it; the free list is
+        // always in a valid state (push/pop of whole Vecs), so recover.
+        self.free.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_stats(&self) -> std::sync::MutexGuard<'_, PoolStats> {
+        self.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A shared pool of reusable byte buffers. Cloning shares the pool.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufferPool {
+    /// Create a pool that retains at most `capacity` free buffers, each
+    /// pre-allocated with `buf_capacity` bytes of storage.
+    pub fn new(capacity: usize, buf_capacity: usize) -> Self {
+        let free = (0..capacity)
+            .map(|_| Vec::with_capacity(buf_capacity))
+            .collect();
+        BufferPool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(free),
+                stats: Mutex::new(PoolStats::default()),
+                capacity,
+            }),
+        }
+    }
+
+    /// Take a buffer (empty, capacity preserved from its previous life).
+    /// Falls back to a fresh allocation when the free list is exhausted.
+    pub fn acquire(&self) -> PooledBuf {
+        let recycled = self.inner.lock_free().pop();
+        let mut stats = self.inner.lock_stats();
+        let data = match recycled {
+            Some(buf) => {
+                stats.reused += 1;
+                buf
+            }
+            None => {
+                stats.fallback_allocs += 1;
+                Vec::new()
+            }
+        };
+        drop(stats);
+        PooledBuf {
+            data: Some(data),
+            pool: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        *self.inner.lock_stats()
+    }
+
+    /// Buffers currently sitting on the free list.
+    pub fn free_buffers(&self) -> usize {
+        self.inner.lock_free().len()
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BufferPool(free={}, cap={})",
+            self.free_buffers(),
+            self.inner.capacity
+        )
+    }
+}
+
+/// An owned, growable byte buffer on loan from a [`BufferPool`].
+///
+/// Dereferences to `[u8]`; build contents with [`put_slice`](Self::put_slice)
+/// / [`resize`](Self::resize) and mutate in place via
+/// [`as_mut_slice`](Self::as_mut_slice). Dropping returns the allocation to
+/// the pool; [`into_vec`](Self::into_vec) detaches it instead — both are
+/// moves of the `Vec`, neither copies payload bytes.
+pub struct PooledBuf {
+    /// `Some` until the buffer is detached or dropped.
+    data: Option<Vec<u8>>,
+    pool: Arc<PoolInner>,
+}
+
+impl PooledBuf {
+    // `data` is only taken by `into_vec` (which consumes self) and `drop`,
+    // so these accessors always see `Some`; the fallbacks keep them total
+    // rather than panicking.
+    fn data(&self) -> &[u8] {
+        match &self.data {
+            Some(v) => v,
+            None => &[],
+        }
+    }
+
+    fn data_mut(&mut self) -> &mut Vec<u8> {
+        self.data.get_or_insert_with(Vec::new)
+    }
+
+    /// Append bytes.
+    pub fn put_slice(&mut self, src: &[u8]) {
+        self.data_mut().extend_from_slice(src);
+    }
+
+    /// Resize to `len`, filling new space with `value` (used to reserve
+    /// header room before the payload is written behind it).
+    pub fn resize(&mut self, len: usize, value: u8) {
+        self.data_mut().resize(len, value);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data().len()
+    }
+
+    /// True if no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.data().is_empty()
+    }
+
+    /// Mutable view for in-place transforms (encryption, header patching).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        self.data_mut().as_mut_slice()
+    }
+
+    /// Detach the underlying allocation without copying. The buffer is not
+    /// returned to the pool; the caller owns the `Vec` outright.
+    pub fn into_vec(mut self) -> Vec<u8> {
+        self.data.take().unwrap_or_default()
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.data()
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PooledBuf(len={})", self.len())
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(mut buf) = self.data.take() {
+            let mut free = self.pool.lock_free();
+            if free.len() < self.pool.capacity {
+                buf.clear();
+                free.push(buf);
+                drop(free);
+                self.pool.lock_stats().returned += 1;
+            }
+        }
+    }
+}
+
+impl crate::BufMut for PooledBuf {
+    fn put_u8(&mut self, v: u8) {
+        self.data_mut().push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.data_mut().extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data_mut().extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data_mut().extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        PooledBuf::put_slice(self, src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_reuses_returned_buffers() {
+        let pool = BufferPool::new(2, 64);
+        let first_ptr = {
+            let mut buf = pool.acquire();
+            buf.put_slice(b"hello");
+            buf.as_mut_slice().as_ptr() as usize
+        }; // drop → back to the free list
+        assert_eq!(pool.stats().returned, 1);
+        let mut again = pool.acquire();
+        again.put_slice(b"x");
+        assert_eq!(
+            again.as_mut_slice().as_ptr() as usize,
+            first_ptr,
+            "free list must hand the same allocation back (LIFO)"
+        );
+        assert_eq!(pool.stats().reused, 2);
+        assert_eq!(again.len(), 1, "recycled buffers come back empty");
+    }
+
+    #[test]
+    fn exhaustion_falls_back_to_allocation() {
+        let pool = BufferPool::new(1, 16);
+        let a = pool.acquire();
+        let b = pool.acquire(); // free list empty → fallback
+        let stats = pool.stats();
+        assert_eq!(stats.reused, 1);
+        assert_eq!(stats.fallback_allocs, 1);
+        drop(a);
+        drop(b); // list already at capacity → freed, not returned
+        assert_eq!(pool.free_buffers(), 1);
+        assert_eq!(pool.stats().returned, 1);
+    }
+
+    #[test]
+    fn into_vec_is_pointer_identical_and_skips_the_pool() {
+        let pool = BufferPool::new(4, 32);
+        let mut buf = pool.acquire();
+        buf.put_slice(&[1, 2, 3, 4]);
+        let ptr = buf.as_mut_slice().as_ptr() as usize;
+        let v = buf.into_vec();
+        assert_eq!(v, vec![1, 2, 3, 4]);
+        assert_eq!(v.as_ptr() as usize, ptr, "detach must not copy");
+        assert_eq!(pool.stats().returned, 0, "detached buffers never return");
+    }
+
+    #[test]
+    fn pointer_identity_survives_a_channel_hop() {
+        // The pipeline's claim in miniature: a packet built in a pooled
+        // buffer crosses a thread boundary with no payload copy.
+        let pool = BufferPool::new(2, 1500);
+        let mut buf = pool.acquire();
+        buf.put_slice(&[0xAB; 1452]);
+        let ptr = buf.as_mut_slice().as_ptr() as usize;
+        let (tx, rx) = std::sync::mpsc::channel::<PooledBuf>();
+        let handle = std::thread::spawn(move || {
+            let got = rx.recv().ok()?;
+            Some((got.as_ptr() as usize, got.into_vec()))
+        });
+        tx.send(buf).ok();
+        let (recv_ptr, v) = handle.join().ok().flatten().expect("hop");
+        assert_eq!(recv_ptr, ptr, "the same allocation crossed the channel");
+        assert_eq!(v.as_ptr() as usize, ptr, "and detached without a copy");
+        assert_eq!(v.len(), 1452);
+    }
+
+    #[test]
+    fn buf_mut_impl_appends() {
+        use crate::BufMut;
+        let pool = BufferPool::new(1, 8);
+        let mut buf = pool.acquire();
+        buf.put_u8(7);
+        buf.put_u16(0x0102);
+        BufMut::put_slice(&mut buf, &[9, 9]);
+        assert_eq!(&buf[..], &[7, 1, 2, 9, 9]);
+    }
+
+    #[test]
+    fn clones_share_one_pool() {
+        let pool = BufferPool::new(1, 8);
+        let clone = pool.clone();
+        drop(pool.acquire());
+        assert_eq!(clone.stats().returned, 1);
+    }
+}

@@ -42,7 +42,8 @@ pub use fleet::{
 pub use golden::{diff_against_golden, golden_effort, golden_figures, parse_table_json};
 pub use parallel::{par_flat_map, par_map};
 pub use throughput::{
-    bench_cipher_json, measure_cipher_throughput, CipherThroughput, SEGMENT_LEN,
+    bench_cipher_json, measure_cipher_throughput, validate_bench_cipher_schema, CipherThroughput,
+    SEGMENT_LEN,
 };
 
 use thrifty::analytic::delay::DelayModel;

@@ -60,32 +60,32 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: DET_WALL_CLOCK,
         tier: "determinism",
-        summary: "SystemTime/Instant::now in sim, fleet, des, fec, queueing, telemetry, recover or bench non-test code",
+        summary: "SystemTime/Instant::now in sim, fleet, des, fec, queueing, telemetry, recover, crypto or bench non-test code",
     },
     RuleInfo {
         name: DET_THREAD_RNG,
         tier: "determinism",
-        summary: "ambient thread_rng in sim, fleet, des, fec, queueing, telemetry, recover or bench non-test code",
+        summary: "ambient thread_rng in sim, fleet, des, fec, queueing, telemetry, recover, crypto or bench non-test code",
     },
     RuleInfo {
         name: DET_HASH_COLLECTIONS,
         tier: "determinism",
-        summary: "HashMap/HashSet (hash-ordered iteration) in sim, fleet, des, fec, queueing, telemetry, recover or bench non-test code",
+        summary: "HashMap/HashSet (hash-ordered iteration) in sim, fleet, des, fec, queueing, telemetry, recover, crypto or bench non-test code",
     },
     RuleInfo {
         name: PANIC_UNWRAP,
         tier: "panic-free",
-        summary: ".unwrap()/.expect() in wire/NAL/bitstream parser non-test code",
+        summary: ".unwrap()/.expect() in wire/NAL/bitstream parser and buffer-pool non-test code",
     },
     RuleInfo {
         name: PANIC_MACRO,
         tier: "panic-free",
-        summary: "panic!/unreachable! in wire/NAL/bitstream parser non-test code",
+        summary: "panic!/unreachable! in wire/NAL/bitstream parser and buffer-pool non-test code",
     },
     RuleInfo {
         name: PANIC_SLICE_INDEX,
         tier: "panic-free",
-        summary: "slice indexing by integer literal in wire/NAL/bitstream parser non-test code",
+        summary: "slice indexing by integer literal in wire/NAL/bitstream parser and buffer-pool non-test code",
     },
     RuleInfo {
         name: NUM_FLOAT_EQ,
@@ -126,11 +126,22 @@ pub fn is_known_rule(name: &str) -> bool {
 
 /// Crates whose non-test code must be bit-deterministic. A relative path
 /// is in scope when it starts with `crates/<name>/src/`.
-const DET_CRATES: &[&str] =
-    &["sim", "fleet", "queueing", "telemetry", "bench", "des", "fec", "recover"];
+const DET_CRATES: &[&str] = &[
+    "sim",
+    "fleet",
+    "queueing",
+    "telemetry",
+    "bench",
+    "des",
+    "fec",
+    "recover",
+    "crypto",
+];
 
 /// Wire-format / bitstream parser files: the panic-free and truncating-cast
-/// tiers apply to the non-test code of exactly these files.
+/// tiers apply to the non-test code of exactly these files. The buffer
+/// pool rides along because every packet on the zero-copy path lives in
+/// its buffers — a panic there takes the whole sender down.
 const WIRE_FILES: &[&str] = &[
     "crates/net/src/wire.rs",
     "crates/video/src/nal.rs",
@@ -139,6 +150,7 @@ const WIRE_FILES: &[&str] = &[
     "crates/recover/src/rto.rs",
     "crates/recover/src/resync.rs",
     "crates/recover/src/controller.rs",
+    "compat/bytes/src/pool.rs",
 ];
 
 /// The deterministic crate a path belongs to, if any.

@@ -141,7 +141,7 @@ fn unused_waiver_is_reported() {
 
 #[test]
 fn det_rules_are_silent_outside_deterministic_crates() {
-    check("det_wall_clock.rs", "crates/crypto/src/fixture.rs", &[]);
+    check("det_wall_clock.rs", "crates/analytic/src/fixture.rs", &[]);
     check("det_thread_rng.rs", "crates/video/src/fixture.rs", &[]);
     check("det_hash_collections.rs", "src/fixture.rs", &[]);
 }

@@ -105,6 +105,39 @@ impl RtpHeader {
         buf.put_slice(payload);
         buf.to_vec()
     }
+
+    /// Serialise the 12-byte header into the front of `dst` in place —
+    /// the zero-copy path: the packet buffer reserves [`RTP_HEADER_LEN`]
+    /// bytes up front, the payload is built (and encrypted) behind them,
+    /// and the header is stamped over the reserved prefix with no
+    /// intermediate allocation. Byte-identical to the prefix of
+    /// [`emit`](Self::emit).
+    pub fn write_into(&self, dst: &mut [u8]) -> Result<(), WireError> {
+        let Some((hdr, _)) = dst.split_first_chunk_mut::<RTP_HEADER_LEN>() else {
+            return Err(WireError::Truncated {
+                need: RTP_HEADER_LEN,
+                got: dst.len(),
+            });
+        };
+        let [s0, s1] = self.sequence.to_be_bytes();
+        let [t0, t1, t2, t3] = self.timestamp.to_be_bytes();
+        let [c0, c1, c2, c3] = self.ssrc.to_be_bytes();
+        *hdr = [
+            2 << 6, // V=2, P=0, X=0, CC=0
+            (u8::from(self.marker) << 7) | (self.payload_type & 0x7f),
+            s0,
+            s1,
+            t0,
+            t1,
+            t2,
+            t3,
+            c0,
+            c1,
+            c2,
+            c3,
+        ];
+        Ok(())
+    }
 }
 
 /// A typed view over an RTP packet buffer.
@@ -424,6 +457,24 @@ mod tests {
         let pkt = RtpPacket::parse(wire.as_slice()).expect("emitted RTP packet must parse");
         assert_eq!(pkt.header(), header());
         assert_eq!(pkt.payload(), payload);
+    }
+
+    #[test]
+    fn write_into_matches_emit_prefix() {
+        let h = header();
+        let payload = [0x5A; 30];
+        let emitted = h.emit(&payload);
+        // In-place build: reserve header room, payload behind it, stamp.
+        let mut buf = vec![0u8; RTP_HEADER_LEN];
+        buf.extend_from_slice(&payload);
+        h.write_into(&mut buf).expect("12-byte prefix fits");
+        assert_eq!(buf, emitted, "write_into must be byte-identical to emit");
+        // Short destinations surface as typed errors, never a panic.
+        let mut short = [0u8; RTP_HEADER_LEN - 1];
+        assert_eq!(
+            h.write_into(&mut short),
+            Err(WireError::Truncated { need: 12, got: 11 })
+        );
     }
 
     #[test]

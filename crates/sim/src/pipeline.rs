@@ -10,6 +10,21 @@
 //! frames; an **eavesdropper** thread gets a copy of every packet but must
 //! treat marked ones as erasures.
 //!
+//! ## Zero-copy packet path
+//!
+//! The sender side is allocation- and copy-thrifty, matching the paper's
+//! resource-constrained handset: each packet is assembled **once** into a
+//! [`PooledBuf`](bytes::PooledBuf) from a shared [`bytes::BufferPool`] —
+//! header room reserved up front, fragment header and payload behind it —
+//! then encrypted *in place* as one batched keystream train per frame
+//! ([`MeteredSegmentCipher::encrypt_train`](thrifty_crypto::MeteredSegmentCipher::encrypt_train),
+//! byte-identical to the historical per-segment OFB), stamped with its RTP
+//! header via [`RtpHeader::write_into`], and sent down the air channel as
+//! the *same allocation*. Packets lost on the air drop back into the pool
+//! for reuse; survivors detach without copying
+//! ([`PooledBuf::into_vec`](bytes::PooledBuf::into_vec)). No payload byte
+//! is copied between assembly and the observers' parsers.
+//!
 //! Fragments are carried behind a small fragmentation header
 //! ([`FragmentHeader`]: frame index, fragment number, fragment count)
 //! playing the role of H.264 FU-A fragmentation units.
@@ -26,6 +41,7 @@
 //! to the plain path, and any armed plan is bit-reproducible from its
 //! seed.
 
+use bytes::{BufferPool, PooledBuf};
 use crossbeam::channel;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -353,7 +369,15 @@ pub fn run_pipeline_faulty(
     // Producer → encryptor: the bounded in-memory queue of Figure 3.
     let (frame_tx, frame_rx) = channel::bounded::<InputFrame>(config.queue_depth);
     // Encryptor → air: every packet is seen by both observers (broadcast).
-    let (air_tx, air_rx) = channel::unbounded::<Vec<u8>>();
+    // Packets travel as pooled buffers — the allocation assembled by the
+    // encryptor is the one the air thread forwards or recycles.
+    let (air_tx, air_rx) = channel::unbounded::<PooledBuf>();
+    // Sized for the largest I-frame train in flight plus slack; overflow
+    // falls back to plain allocation, it never stalls the sender.
+    let pool = BufferPool::new(
+        64,
+        RTP_HEADER_LEN + FRAG_HEADER_LEN + config.mtu_payload,
+    );
 
     let mut queue_faults = QueueFaults::new(plan, metrics);
     let producer = std::thread::spawn(move || {
@@ -399,18 +423,20 @@ pub fn run_pipeline_faulty(
             ),
         ] {
             let annex_b = write_annex_b(std::slice::from_ref(&unit));
-            let mut payload = Vec::with_capacity(FRAG_HEADER_LEN + annex_b.len());
-            payload.extend_from_slice(&FragmentHeader::new(reserved, 0, 1).emit());
-            payload.extend_from_slice(&annex_b);
-            let rtp = RtpHeader {
+            let mut pkt = pool.acquire();
+            pkt.resize(RTP_HEADER_LEN, 0);
+            pkt.put_slice(&FragmentHeader::new(reserved, 0, 1).emit());
+            pkt.put_slice(&annex_b);
+            let stamped = RtpHeader {
                 marker: false,
                 payload_type: 96,
                 sequence: seq,
                 timestamp: 0,
                 ssrc: 0x7E57,
             }
-            .emit(&payload);
-            if air_tx.send(rtp).is_err() {
+            .write_into(pkt.as_mut_slice());
+            debug_assert!(stamped.is_ok(), "buffer reserves header room");
+            if air_tx.send(pkt).is_err() {
                 return (sent, encrypted);
             }
             sent += 1;
@@ -419,40 +445,57 @@ pub fn run_pipeline_faulty(
         }
         while let Ok(frame) = frame_rx.recv() {
             // Serialise the frame as a real Annex-B stream, then fragment.
+            // Each fragment is assembled once into a pooled buffer with its
+            // RTP header room reserved; nothing below copies payload bytes
+            // again.
             let annex_b = write_annex_b(std::slice::from_ref(&frame.nal));
             let chunks: Vec<&[u8]> = annex_b.chunks(config.mtu_payload).collect();
             let total = chunks.len() as u16;
             let unit: f64 = rng.gen_range(0.0..1.0);
             let encrypt_frame = policy.mode.should_encrypt(frame.ftype, unit);
+            let mut train: Vec<PooledBuf> = Vec::with_capacity(chunks.len());
+            let mut seqs: Vec<u64> = Vec::with_capacity(chunks.len());
             for (i, chunk) in chunks.iter().enumerate() {
-                let mut payload = Vec::with_capacity(FRAG_HEADER_LEN + chunk.len());
-                payload.extend_from_slice(
-                    &FragmentHeader::new(frame.index as u32, i as u16, total).emit(),
-                );
-                payload.extend_from_slice(chunk);
-                if encrypt_frame {
-                    // OFB per segment, keyed by the global sequence number —
-                    // the receiver recovers the IV from the RTP header.
-                    let body = &mut payload[FRAG_HEADER_LEN..];
-                    enc_cipher.encrypt_segment(seq as u64, body);
-                    encrypted += 1;
+                let mut pkt = pool.acquire();
+                pkt.resize(RTP_HEADER_LEN, 0);
+                pkt.put_slice(&FragmentHeader::new(frame.index as u32, i as u16, total).emit());
+                pkt.put_slice(chunk);
+                seqs.push(seq.wrapping_add(i as u16) as u64);
+                train.push(pkt);
+            }
+            if encrypt_frame {
+                // OFB per segment, keyed by the global sequence number —
+                // the receiver recovers the IV from the RTP header. The
+                // whole frame's fragments go through the cipher as one
+                // batched train (byte-identical to per-segment OFB; the
+                // bitsliced backend runs the lanes in parallel).
+                let mut bodies: Vec<&mut [u8]> = train
+                    .iter_mut()
+                    .map(|pkt| &mut pkt.as_mut_slice()[RTP_HEADER_LEN + FRAG_HEADER_LEN..])
+                    .collect();
+                enc_cipher.encrypt_train(&seqs, &mut bodies);
+                encrypted += bodies.len();
+                for _ in 0..bodies.len() {
                     pipeline_encrypted.inc();
                 }
-                let rtp = RtpHeader {
+            }
+            for (i, mut pkt) in train.into_iter().enumerate() {
+                let stamped = RtpHeader {
                     marker: encrypt_frame,
                     payload_type: 96,
-                    sequence: seq,
+                    sequence: seq.wrapping_add(i as u16),
                     timestamp: frame.index as u32 * 3000,
                     ssrc: 0x7E57,
                 }
-                .emit(&payload);
-                if air_tx.send(rtp).is_err() {
+                .write_into(pkt.as_mut_slice());
+                debug_assert!(stamped.is_ok(), "buffer reserves header room");
+                if air_tx.send(pkt).is_err() {
                     return (sent, encrypted);
                 }
                 sent += 1;
                 pipeline_sent.inc();
-                seq = seq.wrapping_add(1);
             }
+            seq = seq.wrapping_add(total);
         }
         (sent, encrypted)
     });
@@ -499,9 +542,14 @@ pub fn run_pipeline_faulty(
             };
             if lost {
                 air_lost.inc();
-                continue; // lost on the air: nobody hears it
+                // Lost on the air: nobody hears it, and dropping the
+                // pooled buffer hands its allocation straight back to the
+                // sender for the next train.
+                continue;
             }
-            for survivor in injector.on_packet(pkt) {
+            // Survivors detach from the pool without copying a byte — the
+            // injector and observers own the allocation from here on.
+            for survivor in injector.on_packet(pkt.into_vec()) {
                 release(survivor, &mut shuffle, &mut rng);
             }
         }

@@ -21,10 +21,19 @@ cargo test -q --workspace
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo bench -p thrifty-bench -- --test (smoke)"
+echo "==> cargo bench -p thrifty-bench -- --test (smoke + backend ratio gates)"
+# Besides smoke-running every bench, this executes the backend_ratio_gate:
+# fast must beat reference for every algorithm, fast 3DES must hold a 4x
+# lead, and batched bitsliced AES-128 (64-segment trains) must at least
+# match the fast T-table backend. The committed BENCH_cipher.json pins the
+# full >=2x bitsliced headline via its own unit test.
 cargo bench -p thrifty-bench -- --test
 
 echo "==> reproduce determinism (metered double run must be byte-identical)"
+# Since the sender went zero-copy (pooled buffers, batched keystream
+# trains), this byte-compare also proves the pool/train path end to end:
+# any buffer reuse bug or train/sequential keystream divergence would show
+# up as a diff between the two runs or against the golden figures below.
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp" "$lint_tmp"' EXIT
 ./target/release/reproduce table2 fig12 --no-bench-json \

@@ -4,7 +4,9 @@
 use proptest::prelude::*;
 use thrifty::analytic::policy::EncryptionMode;
 use thrifty::analytic::regression::fit_polynomial;
-use thrifty::crypto::{Algorithm, BlockCipher, SegmentCipher};
+use thrifty::crypto::{
+    Aes128, Aes256, AesBitsliced, AesFast, Algorithm, BlockCipher, CipherBackend, SegmentCipher,
+};
 use thrifty::net::wire::{RtpHeader, RtpPacket};
 use thrifty::queueing::mmpp::Mmpp2;
 use thrifty::queueing::service::{ServiceComponent, ServiceDistribution};
@@ -18,6 +20,34 @@ fn algorithm() -> impl Strategy<Value = Algorithm> {
         Just(Algorithm::Aes256),
         Just(Algorithm::TripleDes),
     ]
+}
+
+fn backend() -> impl Strategy<Value = CipherBackend> {
+    prop_oneof![
+        Just(CipherBackend::Reference),
+        Just(CipherBackend::Fast),
+        Just(CipherBackend::Bitsliced),
+    ]
+}
+
+/// One AES block cipher per backend, behind the common [`BlockCipher`]
+/// trait — the parameterized matrix the NIST vector tests run over.
+fn aes_block_cipher(backend: CipherBackend, key: &[u8]) -> Box<dyn BlockCipher> {
+    match backend {
+        CipherBackend::Reference => {
+            if key.len() == 16 {
+                let mut k = [0u8; 16];
+                k.copy_from_slice(key);
+                Box::new(Aes128::new(&k))
+            } else {
+                let mut k = [0u8; 32];
+                k.copy_from_slice(key);
+                Box::new(Aes256::new(&k))
+            }
+        }
+        CipherBackend::Fast => Box::new(AesFast::new(key)),
+        CipherBackend::Bitsliced => Box::new(AesBitsliced::new(key)),
+    }
 }
 
 proptest! {
@@ -41,10 +71,11 @@ proptest! {
         prop_assert_eq!(buf, data);
     }
 
-    /// The table-driven fast backend is bit-exact with the byte-oriented
-    /// reference backend: identical ciphertext for every algorithm, key,
-    /// sequence number and payload length, and each backend decrypts what
-    /// the other encrypted.
+    /// Three-way backend differential: the table-driven fast backend and
+    /// the constant-time bitsliced backend are bit-exact with the
+    /// byte-oriented reference backend — identical ciphertext for every
+    /// algorithm, key, sequence number and payload length, and every
+    /// backend decrypts what any other encrypted.
     #[test]
     fn cipher_backends_agree(
         alg in algorithm(),
@@ -52,19 +83,64 @@ proptest! {
         seq in any::<u64>(),
         data in proptest::collection::vec(any::<u8>(), 0..4096),
     ) {
-        use thrifty::crypto::CipherBackend;
         let reference = SegmentCipher::with_backend(alg, &key, CipherBackend::Reference).unwrap();
         let fast = SegmentCipher::with_backend(alg, &key, CipherBackend::Fast).unwrap();
+        let bitsliced = SegmentCipher::with_backend(alg, &key, CipherBackend::Bitsliced).unwrap();
         let mut ct_ref = data.clone();
         reference.encrypt_segment(seq, &mut ct_ref);
         let mut ct_fast = data.clone();
         fast.encrypt_segment(seq, &mut ct_fast);
+        let mut ct_bs = data.clone();
+        bitsliced.encrypt_segment(seq, &mut ct_bs);
         prop_assert_eq!(&ct_ref, &ct_fast);
-        // Cross-backend round-trips: either backend undoes the other.
+        prop_assert_eq!(&ct_ref, &ct_bs);
+        // Cross-backend round-trips: any backend undoes any other.
         reference.decrypt_segment(seq, &mut ct_fast);
         prop_assert_eq!(ct_fast, data.clone());
-        fast.decrypt_segment(seq, &mut ct_ref);
-        prop_assert_eq!(ct_ref, data);
+        bitsliced.decrypt_segment(seq, &mut ct_ref);
+        prop_assert_eq!(ct_ref, data.clone());
+        fast.decrypt_segment(seq, &mut ct_bs);
+        prop_assert_eq!(ct_bs, data);
+    }
+
+    /// The batched keystream train is byte-identical to per-segment OFB
+    /// for every backend, over arbitrary segment counts and ragged
+    /// lengths — zero-length segments and non-multiple-of-16 tails
+    /// included — and `decrypt_train` inverts it.
+    #[test]
+    fn batched_train_matches_sequential(
+        alg in algorithm(),
+        backend in backend(),
+        key in proptest::array::uniform32(any::<u8>()),
+        base_seq in any::<u64>(),
+        lens in proptest::collection::vec(0usize..500, 0..70),
+    ) {
+        let cipher = SegmentCipher::with_backend(alg, &key, backend).unwrap();
+        let data: Vec<Vec<u8>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| (0..len).map(|j| (i * 31 + j * 7) as u8).collect())
+            .collect();
+        let seqs: Vec<u64> = (0..lens.len() as u64)
+            .map(|i| base_seq.wrapping_add(i))
+            .collect();
+        let mut train = data.clone();
+        {
+            let mut views: Vec<&mut [u8]> =
+                train.iter_mut().map(|v| v.as_mut_slice()).collect();
+            cipher.encrypt_train(&seqs, &mut views);
+        }
+        let mut sequential = data.clone();
+        for (seq, buf) in seqs.iter().zip(sequential.iter_mut()) {
+            cipher.encrypt_segment(*seq, buf);
+        }
+        prop_assert_eq!(&train, &sequential);
+        {
+            let mut views: Vec<&mut [u8]> =
+                train.iter_mut().map(|v| v.as_mut_slice()).collect();
+            cipher.decrypt_train(&seqs, &mut views);
+        }
+        prop_assert_eq!(train, data);
     }
 
     /// Block encrypt/decrypt are inverse for random blocks and keys.
@@ -358,4 +434,223 @@ proptest! {
         let q2 = EncryptionMode::IPlusFractionP(alpha).encrypted_fraction(p_i);
         prop_assert!(q2 >= q1 - 1e-12);
     }
+}
+
+// ---- NIST AES vectors across the full backend matrix ----------------------
+
+fn hex(s: &str) -> Vec<u8> {
+    assert!(s.len().is_multiple_of(2), "odd hex string");
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex digit"))
+        .collect()
+}
+
+/// NIST SP 800-38A Appendix F.1 multi-block ECB known-answer vectors
+/// (the CAVP "MMT" shape: several chained blocks under one key), run
+/// against **every** backend through the shared [`BlockCipher`] matrix.
+/// F.1.1 covers AES-128, F.1.5 covers AES-256.
+#[test]
+fn nist_sp800_38a_multiblock_vectors_hold_for_every_backend() {
+    let pt = hex(concat!(
+        "6bc1bee22e409f96e93d7e117393172a",
+        "ae2d8a571e03ac9c9eb76fac45af8e51",
+        "30c81c46a35ce411e5fbc1191a0a52ef",
+        "f69f2445df4f9b17ad2b417be66c3710"
+    ));
+    let cases = [
+        (
+            // F.1.1 ECB-AES128.Encrypt
+            hex("2b7e151628aed2a6abf7158809cf4f3c"),
+            hex(concat!(
+                "3ad77bb40d7a3660a89ecaf32466ef97",
+                "f5d3d58503b9699de785895a96fdbaaf",
+                "43b1cd7f598ece23881b00e3ed030688",
+                "7b0c785e27e8ad3f8223207104725dd4"
+            )),
+        ),
+        (
+            // F.1.5 ECB-AES256.Encrypt
+            hex(concat!(
+                "603deb1015ca71be2b73aef0857d7781",
+                "1f352c073b6108d72d9810a30914dff4"
+            )),
+            hex(concat!(
+                "f3eed1bdb5d2a03c064b5a7e3db181f8",
+                "591ccb10d410ed26dc5ba74a31362870",
+                "b6ed21b99ca6f4f9f153e7b1beafed1d",
+                "23304b7a39f9f3ff067d8d8f9e24ecc7"
+            )),
+        ),
+    ];
+    for (key, expect) in &cases {
+        for backend in CipherBackend::ALL {
+            let cipher = aes_block_cipher(backend, key);
+            let mut got = pt.clone();
+            for block in got.chunks_mut(16) {
+                cipher.encrypt_block(block);
+            }
+            assert_eq!(
+                &got,
+                expect,
+                "AES-{} multi-block ECB mismatch on backend {}",
+                key.len() * 8,
+                backend.name()
+            );
+            // And the inverse direction recovers the plaintext.
+            for block in got.chunks_mut(16) {
+                cipher.decrypt_block(block);
+            }
+            assert_eq!(&got, &pt, "backend {} failed to invert", backend.name());
+        }
+    }
+}
+
+/// The CAVP ECB Monte-Carlo schedule (inner chain of 1000 encryptions,
+/// NIST key-update rule between outer rounds), run for 10 outer rounds.
+/// All three backends must walk the identical chain, and the endpoint is
+/// pinned to a constant produced by the FIPS-197-validated reference
+/// backend — a million-block differential that would catch a key-schedule
+/// or round-function slip no single-vector test reaches.
+#[test]
+fn nist_cavp_monte_carlo_chains_agree_across_backends() {
+    fn mct(backend: CipherBackend, key_len: usize) -> ([u8; 16], Vec<u8>) {
+        let mut key: Vec<u8> = (0..key_len as u8).collect();
+        let mut pt = [0xA5u8; 16];
+        let mut ct = [0u8; 16];
+        let mut ct_prev = [0u8; 16];
+        for _outer in 0..10 {
+            let cipher = aes_block_cipher(backend, &key);
+            for _inner in 0..1000 {
+                ct_prev = ct;
+                let mut block = pt;
+                cipher.encrypt_block(&mut block);
+                ct = block;
+                pt = ct;
+            }
+            // CAVP key update: fold the last ciphertext(s) into the key.
+            match key_len {
+                16 => {
+                    for (k, c) in key.iter_mut().zip(ct.iter()) {
+                        *k ^= c;
+                    }
+                }
+                _ => {
+                    let feedback: Vec<u8> =
+                        ct_prev.iter().chain(ct.iter()).copied().collect();
+                    for (k, c) in key.iter_mut().zip(feedback.iter()) {
+                        *k ^= c;
+                    }
+                }
+            }
+            pt = ct;
+        }
+        (ct, key)
+    }
+    // Endpoints pinned from the reference backend (FIPS-197 validated by
+    // the crypto crate's own known-answer tests).
+    let pinned: [(usize, &str, &str); 2] = [
+        (
+            16,
+            "9e6618c616373be1c772473b3f2d257f",
+            "8246f3f0d0026f858bdef42b23e3dbc4",
+        ),
+        (
+            32,
+            "b9676808c862ed1f9c657586b91ee243",
+            "36968c5e950ec89b7c0f102e4898e15eeb9fb90bcd561876b09f3adbfbb62759",
+        ),
+    ];
+    for (key_len, pin_ct, pin_key) in pinned {
+        let (ref_ct, ref_key) = mct(CipherBackend::Reference, key_len);
+        let to_hex =
+            |b: &[u8]| b.iter().map(|x| format!("{x:02x}")).collect::<String>();
+        assert_eq!(
+            to_hex(&ref_ct),
+            pin_ct,
+            "AES-{} MCT endpoint moved (reference)",
+            key_len * 8
+        );
+        assert_eq!(
+            to_hex(&ref_key),
+            pin_key,
+            "AES-{} MCT final key moved (reference)",
+            key_len * 8
+        );
+        for backend in [CipherBackend::Fast, CipherBackend::Bitsliced] {
+            let (ct, key) = mct(backend, key_len);
+            assert_eq!(
+                (ct, &key),
+                (ref_ct, &ref_key),
+                "AES-{} MCT diverged on backend {}",
+                key_len * 8,
+                backend.name()
+            );
+        }
+    }
+}
+
+// ---- zero-copy pooled train, end to end -----------------------------------
+
+/// The tentpole's zero-copy claim, proven at the integration level: packet
+/// trains assembled in pooled buffers are encrypted in place as one
+/// batched call, cross a channel as the same allocations (pointer
+/// identity), detach without copying, and decrypt back to the original
+/// plaintext with the ordinary per-segment path.
+#[test]
+fn pooled_train_survives_channel_without_copy_and_decrypts() {
+    use bytes::BufferPool;
+    let key = [0x42u8; 32];
+    let cipher = SegmentCipher::with_backend(
+        Algorithm::Aes128,
+        &key,
+        CipherBackend::Bitsliced,
+    )
+    .unwrap();
+    let pool = BufferPool::new(8, 1500);
+    let plain: Vec<Vec<u8>> = (0..5u8)
+        .map(|i| (0..100 + i as usize * 37).map(|j| (j as u8) ^ i).collect())
+        .collect();
+    let seqs: Vec<u64> = (100..105).collect();
+    let mut train: Vec<bytes::PooledBuf> = plain
+        .iter()
+        .map(|p| {
+            let mut buf = pool.acquire();
+            buf.put_slice(p);
+            buf
+        })
+        .collect();
+    let ptrs: Vec<usize> = train
+        .iter_mut()
+        .map(|b| b.as_mut_slice().as_ptr() as usize)
+        .collect();
+    {
+        let mut views: Vec<&mut [u8]> =
+            train.iter_mut().map(|b| b.as_mut_slice()).collect();
+        cipher.encrypt_train(&seqs, &mut views);
+    }
+    let (tx, rx) = std::sync::mpsc::channel::<bytes::PooledBuf>();
+    let receiver = std::thread::spawn(move || {
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        while let Ok(buf) = rx.recv() {
+            got.push(buf.into_vec());
+        }
+        got
+    });
+    for buf in train {
+        tx.send(buf).unwrap();
+    }
+    drop(tx);
+    let mut received = receiver.join().unwrap();
+    // Pointer identity: the allocations that crossed the channel are the
+    // very ones the pool handed out — no byte was copied on the way.
+    let received_ptrs: Vec<usize> =
+        received.iter().map(|v| v.as_ptr() as usize).collect();
+    assert_eq!(received_ptrs, ptrs);
+    for (i, (buf, original)) in received.iter_mut().zip(plain.iter()).enumerate() {
+        cipher.decrypt_segment(seqs[i], buf);
+        assert_eq!(buf, original, "segment {i} did not round-trip");
+    }
+    // Nothing returned to the pool: every buffer was detached in flight.
+    assert_eq!(pool.stats().returned, 0);
 }
