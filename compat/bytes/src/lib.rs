@@ -3,7 +3,7 @@
 //! put methods. Backed by a plain `Vec<u8>`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod pool;
 

@@ -13,7 +13,7 @@
 //! * any bare string — substring filter on the benchmark id.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::time::{Duration, Instant};
 

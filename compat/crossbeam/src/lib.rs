@@ -5,7 +5,7 @@
 //! needs (blocking bounded sends for producer backpressure, FIFO order).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// Multi-producer channels in the style of `crossbeam-channel`.
 pub mod channel {

@@ -4,7 +4,7 @@
 //! inner guard, matching `parking_lot`'s indifference to panics.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::sync;
 

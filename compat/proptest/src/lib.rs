@@ -11,7 +11,7 @@
 //! the test name, so reruns hit the same inputs).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use rand::rngs::StdRng;
 use rand::Rng;

@@ -14,7 +14,7 @@
 //! workspace against this crate are reproducible bit-for-bit.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// Low-level source of random 64-bit words.
 pub trait RngCore {

@@ -25,7 +25,7 @@
 //!   vs reference distance, per motion class (Figure 2).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! * [`fountain`] — the fountain transport's overhead-vs-loss term: the
 //!   exact delivered-symbol distribution per channel (binomial / GE

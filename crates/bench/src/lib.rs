@@ -18,7 +18,7 @@
 //! cell — without changing a single output value.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chaos;
 pub mod faults;

@@ -31,7 +31,7 @@
 //! `Vec`-backed heap and machines in a dense `Vec` indexed by flow id.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod calendar;
 pub mod executor;

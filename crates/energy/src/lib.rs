@@ -23,7 +23,7 @@
 //! [`PowerMeter`] integrates a simulated trace the way the Monsoon does.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use thrifty_analytic::policy::Policy;
 use thrifty_video::encoder::EncodedStream;

@@ -29,7 +29,7 @@
 //! flow into the distortion model.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod channel;
 pub mod injector;

@@ -13,7 +13,7 @@
 //! clocks, ambient RNGs, or hash-ordered collections in non-test code.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod degree;
 pub mod lt;

@@ -35,7 +35,7 @@
 //! [`MmppNG1`]: thrifty_queueing::solver_n::MmppNG1
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod engine;

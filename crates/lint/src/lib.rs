@@ -19,13 +19,19 @@
 //! over the same tree are byte-identical — the linter holds itself to the
 //! same standard it enforces.
 
+pub mod callgraph;
+pub mod dataflow;
 pub mod lexer;
+pub mod locks;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod scope;
+pub mod taint;
 pub mod waiver;
 pub mod walk;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::io::Write as _;
@@ -42,19 +48,94 @@ pub fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
     rules::check_file(rel_path, &toks, &regions)
 }
 
-/// Walk every `.rs` file under `root` and produce the normalized report.
-pub fn scan_workspace(root: &Path) -> io::Result<Report> {
-    let files = walk::rust_files(root)?;
+/// Lint a whole set of sources together: the token tiers per file, plus
+/// the call-graph tiers (transitive taint, plaintext-escape dataflow,
+/// lock ordering) across all of them, with waivers applied once per file
+/// over the combined findings.
+///
+/// `files` is `(workspace-relative path, source text)` pairs; they are
+/// sorted by path internally so reports are deterministic regardless of
+/// input order.
+pub fn scan_sources(files: &[(String, String)]) -> Report {
+    let mut sorted: Vec<&(String, String)> = files.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Pass 1: lex, test regions, token-tier findings, item parse, waivers.
+    struct Pre<'a> {
+        path: &'a str,
+        toks: Vec<lexer::Tok>,
+        raw: Vec<Finding>,
+    }
+    let mut pres: Vec<Pre<'_>> = Vec::with_capacity(sorted.len());
+    let mut indexes: Vec<parse::FileIndex> = Vec::with_capacity(sorted.len());
+    let mut waivers_by_path: BTreeMap<&str, Vec<waiver::Waiver>> = BTreeMap::new();
+    for (path, src) in &sorted {
+        let toks = lexer::lex(src);
+        let regions = scope::test_regions(path, &toks);
+        let raw = rules::check_tokens(path, &toks, &regions);
+        indexes.push(parse::index_file(path, &toks, &regions));
+        waivers_by_path.insert(path.as_str(), waiver::collect(&toks));
+        pres.push(Pre {
+            path,
+            toks,
+            raw,
+        });
+    }
+
+    // Pass 2: the call-graph tiers. `waived` answers whether a well-formed
+    // waiver in `path` covers `line` for `rule` — used both to silence
+    // at-source facts and to stop taint at audited boundaries.
+    let waived = |path: &str, line: u32, rule: &str| -> bool {
+        waivers_by_path.get(path).is_some_and(|ws| {
+            ws.iter().any(|w| {
+                w.malformed.is_none() && w.target_line == line && w.rules.iter().any(|r| r == rule)
+            })
+        })
+    };
+    let graph = callgraph::CallGraph::build(&indexes);
+    let mut extra: Vec<Finding> = taint::taint_findings(&graph, &waived);
+    extra.extend(dataflow::dataflow_findings(&graph));
+    extra.extend(locks::lock_findings(&graph));
+
+    // Pass 3: merge per file and apply waivers once over the union.
+    let mut extra_by_path: BTreeMap<&str, Vec<Finding>> = BTreeMap::new();
+    for f in extra {
+        // Findings are keyed back to their file; the path always comes
+        // from the scanned set, so the lookup below cannot miss.
+        let key = pres
+            .iter()
+            .find(|p| p.path == f.path)
+            .map(|p| p.path)
+            .unwrap_or("");
+        extra_by_path.entry(key).or_default().push(f);
+    }
     let mut report = Report {
         findings: Vec::new(),
-        files_scanned: files.len(),
+        files_scanned: sorted.len(),
     };
-    for rel in &files {
-        let src = fs::read_to_string(root.join(rel))?;
-        report.findings.extend(scan_source(rel, &src));
+    for pre in pres {
+        let mut combined = pre.raw;
+        if let Some(more) = extra_by_path.remove(pre.path) {
+            combined.extend(more);
+        }
+        report
+            .findings
+            .extend(rules::apply_waivers(pre.path, &pre.toks, combined));
     }
     report.normalize();
-    Ok(report)
+    report
+}
+
+/// Walk every `.rs` file under `root` and produce the normalized report
+/// (token tiers and call-graph tiers alike).
+pub fn scan_workspace(root: &Path) -> io::Result<Report> {
+    let files = walk::rust_files(root)?;
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        sources.push((rel, src));
+    }
+    Ok(scan_sources(&sources))
 }
 
 /// Shared CLI driver for the `thrifty-lint` binary and the `thrifty lint`
@@ -63,6 +144,8 @@ pub fn scan_workspace(root: &Path) -> io::Result<Report> {
 pub fn run_cli(args: &[String]) -> u8 {
     let mut json = false;
     let mut root_arg: Option<String> = None;
+    let mut tiers: Vec<String> = Vec::new();
+    let mut baseline_arg: Option<String> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -71,6 +154,31 @@ pub fn run_cli(args: &[String]) -> u8 {
                 Some(r) => root_arg = Some(r.clone()),
                 None => {
                     eprintln!("--root requires a path");
+                    return 2;
+                }
+            },
+            "--tier" => match iter.next() {
+                Some(t) => {
+                    if !rules::RULES.iter().any(|r| r.tier == t.as_str()) {
+                        eprintln!(
+                            "unknown tier `{t}` (known: {})",
+                            known_tiers().join(", ")
+                        );
+                        return 2;
+                    }
+                    if !tiers.contains(t) {
+                        tiers.push(t.clone());
+                    }
+                }
+                None => {
+                    eprintln!("--tier requires a tier name (one of: {})", known_tiers().join(", "));
+                    return 2;
+                }
+            },
+            "--baseline" => match iter.next() {
+                Some(p) => baseline_arg = Some(p.clone()),
+                None => {
+                    eprintln!("--baseline requires a path to a committed --json report");
                     return 2;
                 }
             },
@@ -87,11 +195,17 @@ pub fn run_cli(args: &[String]) -> u8 {
                 let _ = writeln!(
                     io::stdout().lock(),
                     "thrifty-lint — workspace invariant checker\n\n\
-                     USAGE: thrifty-lint [--json] [--root <dir>] [--list-rules]\n\n\
+                     USAGE: thrifty-lint [--json] [--root <dir>] [--tier <t>]…\n\
+                            [--baseline <report.json>] [--list-rules]\n\n\
                      Walks every .rs file in the workspace and enforces the\n\
-                     determinism, panic-free and numeric-safety tiers (see\n\
-                     --list-rules). Exits non-zero on any unwaived finding.\n\
-                     Waive locally with `// lint:allow(<rule>): <reason>`."
+                     token tiers (determinism, panic-free, numeric) plus the\n\
+                     call-graph tiers (taint, dataflow, locks, hygiene); see\n\
+                     --list-rules. `--tier` restricts the *report* to the\n\
+                     named tier(s) — analysis always runs in full so waiver\n\
+                     accounting stays exact. `--baseline` suppresses the\n\
+                     findings recorded in a committed --json report. Exits\n\
+                     non-zero on any remaining unwaived finding. Waive\n\
+                     locally with `// lint:allow(<rule>): <reason>`."
                 );
                 return 0;
             }
@@ -120,8 +234,37 @@ pub fn run_cli(args: &[String]) -> u8 {
             }
         }
     };
+    let baseline: Vec<Finding> = match &baseline_arg {
+        None => Vec::new(),
+        Some(p) => {
+            let text = match fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read baseline `{p}`: {e}");
+                    return 2;
+                }
+            };
+            match report::parse_baseline(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot parse baseline `{p}`: {e}");
+                    return 2;
+                }
+            }
+        }
+    };
     match scan_workspace(&root) {
-        Ok(report) => {
+        Ok(mut report) => {
+            if !tiers.is_empty() {
+                report.findings.retain(|f| {
+                    rules::RULES
+                        .iter()
+                        .any(|r| r.name == f.rule && tiers.iter().any(|t| t == r.tier))
+                });
+            }
+            if !baseline.is_empty() {
+                report.findings.retain(|f| !baseline.contains(f));
+            }
             let rendered = if json {
                 report.render_json()
             } else {
@@ -139,4 +282,15 @@ pub fn run_cli(args: &[String]) -> u8 {
             2
         }
     }
+}
+
+/// The tier names `--tier` accepts, deduplicated in declaration order.
+fn known_tiers() -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = Vec::new();
+    for r in rules::RULES {
+        if !out.contains(&r.tier) {
+            out.push(r.tier);
+        }
+    }
+    out
 }

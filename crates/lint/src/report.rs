@@ -87,6 +87,150 @@ impl Report {
     }
 }
 
+/// Parse a baseline file: the JSON emitted by [`Report::render_json`].
+///
+/// This is a hand-rolled scanner for exactly that shape (the linter has no
+/// dependencies to spend on a JSON crate): it walks the `"findings"` array
+/// and extracts the four known fields of each object, unescaping strings.
+/// Anything structurally surprising is an error — a baseline that cannot
+/// be read must fail loudly, not silently suppress nothing.
+pub fn parse_baseline(text: &str) -> Result<Vec<Finding>, String> {
+    let start = text
+        .find("\"findings\"")
+        .ok_or_else(|| "no \"findings\" key".to_string())?;
+    let array_open = text[start..]
+        .find('[')
+        .map(|i| start + i)
+        .ok_or_else(|| "no findings array".to_string())?;
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = array_open + 1;
+    loop {
+        // Seek the next `{` or the closing `]`.
+        while i < bytes.len() && bytes[i] != b'{' && bytes[i] != b']' {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err("unterminated findings array".to_string());
+        }
+        if bytes[i] == b']' {
+            return Ok(out);
+        }
+        // One object: read fields until the matching `}` (strings may
+        // contain braces, so scan string-aware).
+        let mut path = None;
+        let mut line = None;
+        let mut rule = None;
+        let mut message = None;
+        i += 1;
+        loop {
+            while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+                i += 1;
+            }
+            match bytes.get(i) {
+                Some(b'}') => {
+                    i += 1;
+                    break;
+                }
+                Some(b',') => {
+                    i += 1;
+                    continue;
+                }
+                Some(b'"') => {
+                    let (key, next) = parse_json_string(text, i)?;
+                    i = next;
+                    while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+                        i += 1;
+                    }
+                    if bytes.get(i) != Some(&b':') {
+                        return Err(format!("expected `:` after key `{key}`"));
+                    }
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+                        i += 1;
+                    }
+                    match key.as_str() {
+                        "line" => {
+                            let mut n: u32 = 0;
+                            let mut any = false;
+                            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                                n = n
+                                    .saturating_mul(10)
+                                    .saturating_add(u32::from(bytes[i] - b'0'));
+                                i += 1;
+                                any = true;
+                            }
+                            if !any {
+                                return Err("non-numeric `line`".to_string());
+                            }
+                            line = Some(n);
+                        }
+                        _ => {
+                            let (val, next) = parse_json_string(text, i)?;
+                            i = next;
+                            match key.as_str() {
+                                "path" => path = Some(val),
+                                "rule" => rule = Some(val),
+                                "message" => message = Some(val),
+                                other => {
+                                    return Err(format!("unknown finding field `{other}`"))
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => return Err("malformed finding object".to_string()),
+            }
+        }
+        match (path, line, rule, message) {
+            (Some(path), Some(line), Some(rule), Some(message)) => out.push(Finding {
+                path,
+                line,
+                rule,
+                message,
+            }),
+            _ => return Err("finding missing a required field".to_string()),
+        }
+    }
+}
+
+/// Parse the JSON string starting at byte `start` (which must be `"`).
+/// Returns the unescaped value and the byte index just past the closing
+/// quote.
+fn parse_json_string(text: &str, start: usize) -> Result<(String, usize), String> {
+    let bytes = text.as_bytes();
+    if bytes.get(start) != Some(&b'"') {
+        return Err("expected string".to_string());
+    }
+    let mut out = String::new();
+    let mut iter = text[start + 1..].char_indices();
+    while let Some((off, c)) = iter.next() {
+        match c {
+            '"' => return Ok((out, start + 1 + off + 1)),
+            '\\' => match iter.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 'u')) => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        match iter.next().and_then(|(_, h)| h.to_digit(16)) {
+                            Some(d) => code = code * 16 + d,
+                            None => return Err("bad \\u escape".to_string()),
+                        }
+                    }
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                other => return Err(format!("bad escape `{other:?}`")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -147,5 +291,27 @@ mod tests {
         let r = Report::default();
         assert!(r.render_text().contains("0 findings"));
         assert!(r.render_json().contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render_json() {
+        let r = Report {
+            findings: vec![f("a.rs", 1, "x"), f("crates/sim/src/p.rs", 451, "plaintext-escape")],
+            files_scanned: 2,
+        };
+        let parsed = parse_baseline(&r.render_json()).expect("round trip");
+        assert_eq!(parsed, r.findings);
+    }
+
+    #[test]
+    fn baseline_rejects_garbage() {
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("{\"findings\": [{\"path\": \"a\"}]}").is_err());
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let parsed = parse_baseline(&Report::default().render_json()).expect("empty");
+        assert!(parsed.is_empty());
     }
 }

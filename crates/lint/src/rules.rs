@@ -37,6 +37,20 @@ pub const NUM_FLOAT_EQ: &str = "num-float-eq";
 pub const NUM_AS_TRUNCATE: &str = "num-as-truncate";
 /// Hygiene: no `todo!` / `unimplemented!` / `dbg!` anywhere, tests included.
 pub const NUM_DEBUG_MACRO: &str = "num-debug-macro";
+/// Taint: a deterministic-crate function transitively reaching a wall
+/// clock, ambient RNG or hash-ordered collection through the call graph.
+pub const DET_TAINT: &str = "det-taint";
+/// Taint: a wire-file function transitively reaching an unwrap/panic site.
+pub const PANIC_TAINT: &str = "panic-taint";
+/// Dataflow: NAL/frame payload bytes reaching a wire-emit sink without
+/// passing through `SegmentCipher::encrypt*`.
+pub const PLAINTEXT_ESCAPE: &str = "plaintext-escape";
+/// Locks: two functions acquiring the same pair of locks in opposite
+/// orders (or re-acquiring a held lock).
+pub const LOCK_ORDER: &str = "lock-order-inversion";
+/// Hygiene: a crate root missing `#![forbid(unsafe_code)]` or
+/// `#![deny(missing_docs)]`.
+pub const CRATE_ATTRS: &str = "crate-attrs";
 /// Meta: a waiver without a parseable rule list or non-empty reason.
 pub const WAIVER_MALFORMED: &str = "waiver-malformed";
 /// Meta: a waiver naming a rule this linter does not define.
@@ -103,6 +117,31 @@ pub const RULES: &[RuleInfo] = &[
         summary: "todo!/unimplemented!/dbg! anywhere, tests included",
     },
     RuleInfo {
+        name: DET_TAINT,
+        tier: "taint",
+        summary: "deterministic-crate function transitively reaching a wall clock, thread_rng or hash-ordered collection (full call chain reported)",
+    },
+    RuleInfo {
+        name: PANIC_TAINT,
+        tier: "taint",
+        summary: "wire/parser function transitively reaching an unwrap/expect/panic! site (full call chain reported)",
+    },
+    RuleInfo {
+        name: PLAINTEXT_ESCAPE,
+        tier: "dataflow",
+        summary: "NAL payload bytes reaching a wire-emit sink (send/write_into/emit) without SegmentCipher::encrypt*",
+    },
+    RuleInfo {
+        name: LOCK_ORDER,
+        tier: "locks",
+        summary: "Mutex/RwLock pair acquired in opposite orders by two code paths, or re-acquired while held",
+    },
+    RuleInfo {
+        name: CRATE_ATTRS,
+        tier: "hygiene",
+        summary: "crate root missing #![forbid(unsafe_code)] or #![deny(missing_docs)]",
+    },
+    RuleInfo {
         name: WAIVER_MALFORMED,
         tier: "waiver",
         summary: "lint:allow comment without a rule list or non-empty reason",
@@ -165,6 +204,37 @@ fn is_wire_file(rel_path: &str) -> bool {
     WIRE_FILES.contains(&rel_path)
 }
 
+/// True when `rel_path` is in scope for the determinism tiers (token and
+/// taint alike).
+pub(crate) fn det_scoped(rel_path: &str) -> bool {
+    det_crate(rel_path).is_some()
+}
+
+/// True when `rel_path` is in scope for the panic-free tiers.
+pub(crate) fn wire_scoped(rel_path: &str) -> bool {
+    is_wire_file(rel_path)
+}
+
+/// True when `rel_path` is in scope for the plaintext-escape dataflow
+/// tier: the crates where payload buffers meet the wire.
+pub(crate) fn flow_scoped(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/sim/src/") || rel_path.starts_with("crates/net/src/")
+}
+
+/// True when `rel_path` is a crate root whose attributes the hygiene tier
+/// checks: `src/lib.rs` and every `crates/*/src/lib.rs` /
+/// `compat/*/src/lib.rs`.
+fn is_crate_root(rel_path: &str) -> bool {
+    if rel_path == "src/lib.rs" {
+        return true;
+    }
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    matches!(
+        parts.as_slice(),
+        ["crates" | "compat", _, "src", "lib.rs"]
+    )
+}
+
 /// Narrowing integer cast targets: casting *into* one of these with `as`
 /// silently truncates when the source is wider.
 const NARROW_INTS: &[&str] = &["u8", "u16", "i8", "i16"];
@@ -176,6 +246,13 @@ const NARROW_INTS: &[&str] = &["u8", "u16", "i8", "i16"];
 /// off it, so callers may pass a *virtual* path to lint a snippet as if it
 /// lived somewhere specific (the fixture tests do exactly that).
 pub fn check_file(rel_path: &str, toks: &[Tok], regions: &TestRegions) -> Vec<Finding> {
+    apply_waivers(rel_path, toks, check_tokens(rel_path, toks, regions))
+}
+
+/// The token-level rules alone, *without* waiver application — the
+/// workspace scanner merges these with call-graph tier findings before
+/// applying waivers once per file.
+pub(crate) fn check_tokens(rel_path: &str, toks: &[Tok], regions: &TestRegions) -> Vec<Finding> {
     let mut findings = Vec::new();
     let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
 
@@ -338,7 +415,41 @@ pub fn check_file(rel_path: &str, toks: &[Tok], regions: &TestRegions) -> Vec<Fi
         }
     }
 
-    apply_waivers(rel_path, toks, findings)
+    // ---- hygiene tier: crate-root attributes -----------------------------
+    if is_crate_root(rel_path) {
+        let mut has_forbid_unsafe = false;
+        let mut has_deny_docs = false;
+        for i in 0..code.len() {
+            // `#![attr(arg)]` — inner attribute at any position.
+            if punct(i, "#") && punct(i + 1, "!") && punct(i + 2, "[") {
+                let which = code.get(i + 3).map(|t| t.text.as_str());
+                let arg = code.get(i + 5).map(|t| t.text.as_str());
+                if which == Some("forbid") && arg == Some("unsafe_code") {
+                    has_forbid_unsafe = true;
+                }
+                if which == Some("deny") && arg == Some("missing_docs") {
+                    has_deny_docs = true;
+                }
+            }
+        }
+        let first_line = code.first().map_or(1, |t| t.line);
+        if !has_forbid_unsafe {
+            push(
+                CRATE_ATTRS,
+                first_line,
+                "crate root missing `#![forbid(unsafe_code)]`".to_string(),
+            );
+        }
+        if !has_deny_docs {
+            push(
+                CRATE_ATTRS,
+                first_line,
+                "crate root missing `#![deny(missing_docs)]` — every public item must be documented".to_string(),
+            );
+        }
+    }
+
+    findings
 }
 
 /// Find the `]` closing the `[` at `open` (bracket depth only).
@@ -363,7 +474,7 @@ fn matching_bracket(code: &[&Tok], open: usize) -> Option<usize> {
 
 /// Filter findings through the file's waivers and append waiver meta
 /// findings (malformed / unknown rule / unused).
-fn apply_waivers(rel_path: &str, toks: &[Tok], findings: Vec<Finding>) -> Vec<Finding> {
+pub(crate) fn apply_waivers(rel_path: &str, toks: &[Tok], findings: Vec<Finding>) -> Vec<Finding> {
     let mut waivers = waiver::collect(toks);
     let mut out = Vec::new();
 

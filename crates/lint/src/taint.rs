@@ -1,0 +1,282 @@
+//! Transitive determinism and panic taint over the call graph.
+//!
+//! The token tiers catch a *direct* `Instant::now()` in a deterministic
+//! crate; this tier catches the helper two hops away. A function is a
+//! **sink** when its body carries a fact of the tier's kind (wall clock /
+//! ambient RNG / hash iteration for `det-taint`; unwrap/expect/panic for
+//! `panic-taint`). Taint flows backwards along call edges to every
+//! workspace caller; a finding is emitted at each call site *inside the
+//! tier's scope* (deterministic crates / wire files) whose callee is
+//! tainted, carrying the full chain with one `file:line` per hop.
+//!
+//! Waivers interact in two ways:
+//! - a fact whose *direct* rule is already waived in a scoped file (e.g.
+//!   the bench wall-clock timestamps) is not a sink — the audit happened
+//!   at the source;
+//! - a `lint:allow(det-taint)`/`(panic-taint)` waiver at a scoped call
+//!   site both suppresses that finding and stops the taint from climbing
+//!   further — callers of the waived function stay clean, because the
+//!   audit happened at the boundary.
+
+use crate::callgraph::{CallGraph, FnId};
+use crate::parse::FactKind;
+use crate::report::Finding;
+use crate::rules;
+use std::collections::BTreeMap;
+
+/// How a tainted function got that way: either it holds the fact itself,
+/// or one of its calls reaches a tainted function.
+#[derive(Debug, Clone)]
+enum Via {
+    Fact { line: u32, what: String },
+    Call { line: u32, target: FnId },
+}
+
+struct Tier {
+    rule: &'static str,
+    kinds: &'static [FactKind],
+    desc: &'static str,
+}
+
+const TIERS: &[Tier] = &[
+    Tier {
+        rule: rules::DET_TAINT,
+        kinds: &[FactKind::WallClock, FactKind::Rng, FactKind::Hash],
+        desc: "non-determinism",
+    },
+    Tier {
+        rule: rules::PANIC_TAINT,
+        kinds: &[FactKind::Panic],
+        desc: "a panic site",
+    },
+];
+
+/// The direct token-tier rule that guards a fact kind; used to honour
+/// at-source waivers.
+fn direct_rule(kind: FactKind) -> &'static str {
+    match kind {
+        FactKind::WallClock => rules::DET_WALL_CLOCK,
+        FactKind::Rng => rules::DET_THREAD_RNG,
+        FactKind::Hash => rules::DET_HASH_COLLECTIONS,
+        FactKind::Panic => rules::PANIC_UNWRAP, // macros share the audit story
+    }
+}
+
+fn in_scope(rule: &str, path: &str) -> bool {
+    if rule == rules::DET_TAINT {
+        rules::det_scoped(path)
+    } else {
+        rules::wire_scoped(path)
+    }
+}
+
+/// Run both taint tiers. `waived(path, line, rule)` answers whether a
+/// well-formed waiver in `path` covers `line` for `rule`.
+pub fn taint_findings(
+    graph: &CallGraph<'_>,
+    waived: &dyn Fn(&str, u32, &str) -> bool,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for tier in TIERS {
+        out.extend(run_tier(graph, waived, tier));
+    }
+    out
+}
+
+fn run_tier(
+    graph: &CallGraph<'_>,
+    waived: &dyn Fn(&str, u32, &str) -> bool,
+    tier: &Tier,
+) -> Vec<Finding> {
+    let n = graph.fns.len();
+    let mut dist: Vec<u32> = vec![u32::MAX; n];
+    let mut via: Vec<Option<Via>> = vec![None; n];
+    let index_of: BTreeMap<FnId, usize> = graph
+        .fns
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, id)| (id, i))
+        .collect();
+
+    // Seed: every function holding a qualifying, un-waived fact.
+    for (i, &id) in graph.fns.iter().enumerate() {
+        let f = graph.item(id);
+        if f.is_test {
+            continue;
+        }
+        let path = graph.path(id);
+        let mut best: Option<(u32, &str)> = None;
+        for fact in &f.facts {
+            if !tier.kinds.contains(&fact.kind) {
+                continue;
+            }
+            // The panic kind is guarded by two direct rules; honour either.
+            let direct_waived = in_scope(tier.rule, path)
+                && (waived(path, fact.line, direct_rule(fact.kind))
+                    || (fact.kind == FactKind::Panic
+                        && waived(path, fact.line, rules::PANIC_MACRO)));
+            if direct_waived {
+                continue;
+            }
+            let cand = (fact.line, fact.what.as_str());
+            if best.is_none_or(|b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        if let Some((line, what)) = best {
+            dist[i] = 0;
+            via[i] = Some(Via::Fact {
+                line,
+                what: what.to_string(),
+            });
+        }
+    }
+
+    // Fixpoint: relax call edges until stable. Deterministic because fns,
+    // calls and resolved targets all iterate in fixed order and ties are
+    // broken by (distance, call line, target id).
+    let mut changed = true;
+    let mut rounds = 0usize;
+    while changed && rounds <= n {
+        changed = false;
+        rounds += 1;
+        for (i, &id) in graph.fns.iter().enumerate() {
+            let f = graph.item(id);
+            if f.is_test {
+                continue;
+            }
+            let path = graph.path(id);
+            let scoped = in_scope(tier.rule, path);
+            for call in &f.calls {
+                // A waived scoped call site is an audited boundary: the
+                // finding is suppressed and the taint stops here.
+                if scoped && waived(path, call.line, tier.rule) {
+                    continue;
+                }
+                for t in graph.resolve(id, call) {
+                    let ti = index_of[&t];
+                    if dist[ti] == u32::MAX || t == id {
+                        continue;
+                    }
+                    let cand = dist[ti] + 1;
+                    let better = cand < dist[i]
+                        || (cand == dist[i]
+                            && match &via[i] {
+                                Some(Via::Call { line, target }) => {
+                                    (call.line, t) < (*line, *target)
+                                }
+                                Some(Via::Fact { .. }) => false,
+                                None => true,
+                            });
+                    if better {
+                        dist[i] = cand;
+                        via[i] = Some(Via::Call {
+                            line: call.line,
+                            target: t,
+                        });
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Findings: every scoped call site whose best resolved target is
+    // tainted. Direct facts in scoped files are the token tiers' job, so
+    // only chains of length ≥ 1 edge appear here.
+    let mut out = Vec::new();
+    for &id in &graph.fns {
+        let f = graph.item(id);
+        if f.is_test {
+            continue;
+        }
+        let path = graph.path(id);
+        if !in_scope(tier.rule, path) {
+            continue;
+        }
+        let mut seen: Vec<(u32, FnId)> = Vec::new();
+        for call in &f.calls {
+            let mut best: Option<FnId> = None;
+            for t in graph.resolve(id, call) {
+                if dist[index_of[&t]] == u32::MAX || t == id {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let (db, dt) = (dist[index_of[&b]], dist[index_of[&t]]);
+                        (dt, t) < (db, b)
+                    }
+                };
+                if better {
+                    best = Some(t);
+                }
+            }
+            let Some(t) = best else { continue };
+            if seen.contains(&(call.line, t)) {
+                continue;
+            }
+            seen.push((call.line, t));
+            let (chain, what) = render_chain(graph, &index_of, &via, id, call.line, t);
+            out.push(Finding {
+                path: path.to_string(),
+                line: call.line,
+                rule: tier.rule.to_string(),
+                message: format!(
+                    "transitively reaches `{what}` ({}): {chain}",
+                    tier.desc
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Render `root (file:line) → hop (file:line) → … → `fact` (file:line)`.
+fn render_chain(
+    graph: &CallGraph<'_>,
+    index_of: &BTreeMap<FnId, usize>,
+    via: &[Option<Via>],
+    root: FnId,
+    root_line: u32,
+    first: FnId,
+) -> (String, String) {
+    let mut parts = vec![format!(
+        "{} ({}:{})",
+        graph.qual(root),
+        graph.path(root),
+        root_line
+    )];
+    let mut cur = first;
+    let mut guard = 0usize;
+    loop {
+        guard += 1;
+        if guard > via.len() + 2 {
+            break;
+        }
+        match &via[index_of[&cur]] {
+            Some(Via::Call { line, target }) => {
+                parts.push(format!(
+                    "{} ({}:{})",
+                    graph.qual(cur),
+                    graph.path(cur),
+                    line
+                ));
+                cur = *target;
+            }
+            Some(Via::Fact { line, what }) => {
+                parts.push(format!(
+                    "{} ({}:{})",
+                    graph.qual(cur),
+                    graph.path(cur),
+                    line
+                ));
+                parts.push(format!("`{}` ({}:{})", what, graph.path(cur), line));
+                return (parts.join(" → "), what.clone());
+            }
+            None => break,
+        }
+    }
+    (parts.join(" → "), String::from("?"))
+}

@@ -111,6 +111,21 @@ fn num_debug_macro_fires_everywhere() {
 }
 
 #[test]
+fn crate_attrs_fires_twice_on_an_unguarded_crate_root() {
+    // One finding per missing attribute, both at the first code line.
+    check(
+        "crate_attrs.rs",
+        "crates/foo/src/lib.rs",
+        &[("crate-attrs", 3), ("crate-attrs", 3)],
+    );
+    check(
+        "crate_attrs.rs",
+        "compat/foo/src/lib.rs",
+        &[("crate-attrs", 3), ("crate-attrs", 3)],
+    );
+}
+
+#[test]
 fn malformed_waiver_is_reported_and_suppresses_nothing() {
     check(
         "waiver_malformed.rs",
@@ -152,6 +167,12 @@ fn panic_rules_are_silent_outside_wire_files() {
     check("panic_macro.rs", "crates/video/src/encoder.rs", &[]);
     check("panic_slice_index.rs", "crates/core/src/fixture.rs", &[]);
     check("num_as_truncate.rs", "crates/analytic/src/fixture.rs", &[]);
+}
+
+#[test]
+fn crate_attrs_is_silent_off_crate_roots() {
+    check("crate_attrs.rs", "crates/foo/src/util.rs", &[]);
+    check("crate_attrs.rs", "src/bin/thrifty.rs", &[]);
 }
 
 #[test]

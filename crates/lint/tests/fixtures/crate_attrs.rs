@@ -1,0 +1,3 @@
+//! A crate root missing both hygiene attributes.
+
+pub fn noop() {}

@@ -1,0 +1,22 @@
+//! Fixture: two functions taking the same pair of locks in opposite order.
+
+pub struct Shared {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Shared {
+    pub fn forward(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    pub fn backward(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        drop(ga);
+        drop(gb);
+    }
+}

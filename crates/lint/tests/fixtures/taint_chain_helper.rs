@@ -1,0 +1,11 @@
+//! Fixture: the helper chain hiding the clock.
+
+/// One hop in: still no clock in sight.
+pub fn stamp() -> u64 {
+    inner()
+}
+
+fn inner() -> u64 {
+    let _t = Instant::now();
+    42
+}

@@ -1,0 +1,7 @@
+//! Fixture: a sim-side root two hops away from a wall-clock read.
+use thrifty_net::helper::stamp;
+
+/// Looks innocent; transitively reaches `Instant::now`.
+pub fn run_fixture() -> u64 {
+    stamp()
+}

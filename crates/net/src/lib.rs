@@ -24,7 +24,7 @@
 //!   leaves out of scope.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod capture;
 pub mod channel;

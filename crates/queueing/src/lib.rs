@@ -30,7 +30,7 @@
 //!   the cited \[18\]), cross-checked against the 2-state specialisation.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod inversion;
 pub mod matrix;

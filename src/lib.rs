@@ -1,4 +1,5 @@
 //! Root package: see `thrifty` for the public API.
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub use thrifty::*;
